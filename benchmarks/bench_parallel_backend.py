@@ -1,0 +1,45 @@
+"""Real-parallel backend: wall-clock behaviour of the multiprocessing
+executor on this host.  Speedup requires physical cores (the container
+CI host may have one); correctness must hold regardless."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps.matmul import compile_matmul
+from repro.bench.harness import save_report
+from repro.bench.report import render_table
+
+N = 20
+
+
+def test_parallel_backend_wall_clock(benchmark):
+    program = compile_matmul(checksum=True)
+    seq = program.run_sequential((N,))
+
+    rows = []
+    wall = {}
+    for workers in (1, 2, 4):
+        result = program.run_parallel((N,), workers=workers)
+        assert result.value == pytest.approx(seq.value, rel=1e-12)
+        wall[workers] = result.wall_time_s
+        rows.append([workers, result.wall_time_s,
+                     wall[1] / result.wall_time_s])
+
+    cores = os.cpu_count() or 1
+    table = render_table(["workers", "wall (s)", "speed-up"], rows)
+    report = (f"Real-parallel backend - matmul {N}x{N} checksum "
+              f"(host has {cores} core(s))\n\n" + table + "\n\n"
+              "Speed-up needs physical cores; on a single-core host the\n"
+              "backend demonstrates correctness of the shared-I-structure\n"
+              "execution only.")
+    save_report("parallel_backend.txt", report)
+    print("\n" + report)
+
+    if cores >= 4:
+        assert wall[4] < wall[1] * 1.1  # some benefit or at least no harm
+
+    benchmark.pedantic(lambda: program.run_parallel((10,), workers=2),
+                       rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Real parallel execution on this machine's cores.
+
+The paper ran on physical iPSC/2 nodes; this backend runs the same
+partitioned program on real processes (the GIL rules out threads),
+with distributed arrays in shared memory and genuine presence-bit
+synchronization — including a cross-worker conduction-style sweep whose
+rows live on different workers.
+
+Run:  python examples/real_parallel.py [n]
+"""
+
+import os
+import sys
+
+from repro import compile_source
+
+SWEEP = """
+function main(n) {
+    A = matrix(n, n);
+    B = matrix(n, n);
+    # fully parallel fill
+    for i = 1 to n {
+        for j = 1 to n {
+            A[i, j] = sqrt(1.0 * i * j) + (1.0 * i / j) ^ 0.5;
+        }
+    }
+    # row sweep: row i needs row i-1, which another worker may own
+    for j = 1 to n { B[1, j] = A[1, j]; }
+    for i = 2 to n {
+        for j = 1 to n { B[i, j] = 0.5 * B[i - 1, j] + A[i, j]; }
+    }
+    s = 0.0;
+    for i = 1 to n {
+        row = 0.0;
+        for j = 1 to n { next row = row + B[i, j]; }
+        next s = s + row;
+    }
+    return s;
+}
+"""
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    program = compile_source(SWEEP)
+    print(f"host has {os.cpu_count()} CPU core(s)\n")
+
+    seq = program.run_sequential((n,))
+    print(f"sequential checksum: {seq.value:.6f}")
+
+    base = None
+    for workers in (1, 2, 4):
+        result = program.run_parallel((n,), workers=workers)
+        assert abs(result.value - seq.value) < 1e-6 * abs(seq.value)
+        if base is None:
+            base = result.wall_time_s
+        print(f"{workers} worker(s): wall {result.wall_time_s:6.2f} s  "
+              f"speed-up {base / result.wall_time_s:4.2f}  "
+              f"checksum {result.value:.6f}")
+
+    print("\nEvery worker executed the sweep's dependent rows only after")
+    print("the producing worker set the shared presence bits - real")
+    print("I-structure synchronization across processes.")
+
+
+if __name__ == "__main__":
+    main()

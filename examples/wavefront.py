@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Wavefront parallelism and the LCD heuristic.
+
+A 2-D recurrence ``A[i,j] = f(A[i-1,j], A[i,j-1])`` carries dependencies
+in *both* dimensions, so the paper's distribution algorithm (which only
+marks LCD-free levels) correctly leaves the whole nest local.
+
+But the paper also stresses that LCD detection "is only a useful
+heuristic and not a necessity": single assignment keeps any distribution
+*correct*.  Compiling with ``aggressive=True`` distributes the LCD
+i-loop anyway — each PE takes a band of rows, I-structure presence bits
+serialize exactly the cross-band dependencies, and an anti-diagonal
+wavefront pipeline emerges that the conservative heuristic leaves on the
+table.  Nobody ever computes a wavefront schedule; the dataflow finds it.
+
+Run:  python examples/wavefront.py [n]
+"""
+
+import sys
+
+from repro import compile_source
+
+SOURCE = """
+function main(n) {
+    A = matrix(n, n);
+    A[1, 1] = 1.0;
+    for j = 2 to n { A[1, j] = A[1, j - 1] * 0.5 + 1.0; }
+    for i = 2 to n { A[i, 1] = A[i - 1, 1] * 0.5 + 1.0; }
+    for i = 2 to n {
+        for j = 2 to n {
+            g = 0.5 * A[i - 1, j] + 0.5 * A[i, j - 1];
+            A[i, j] = g / (1.0 + (g * g + 0.5) ^ 0.5)
+                    + sqrt(g + 2.0) + 0.01 * sqrt(1.0 * i * j);
+        }
+    }
+    return A[n, n];
+}
+"""
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+
+    conservative = compile_source(SOURCE)
+    aggressive = compile_source(SOURCE, aggressive=True)
+
+    print("Conservative (the paper's algorithm):")
+    print(" ", conservative.partition_report.summary().replace("\n", "\n  "))
+    print("Aggressive (LCD loops distributed anyway):")
+    print(" ", aggressive.partition_report.summary().replace("\n", "\n  "))
+
+    base = conservative.run_pods((n,), num_pes=1)
+    print(f"\n{n}x{n} recurrence, conservative on any PE count: "
+          f"{base.finish_time_us / 1e3:.1f} ms (the nest is serial)")
+
+    print("\nAggressive distribution (pipelined wavefront):")
+    for pes in (1, 4, 8):
+        result = aggressive.run_pods((n,), num_pes=pes)
+        assert abs(result.value - base.value) < 1e-12, "determinacy!"
+        print(f"{pes:2d} PE(s): {result.finish_time_us / 1e3:8.1f} ms  "
+              f"speed-up vs serial {base.finish_time_us / result.finish_time_us:4.2f}")
+
+    print(f"\nA[{n},{n}] = {base.value:.6f} under every configuration —")
+    print("the Church-Rosser property makes the aggressive gamble safe,")
+    print("exactly as Section 4.2.4 argues.")
+
+
+if __name__ == "__main__":
+    main()

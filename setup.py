@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517 --no-build-isolation`` works on
+offline machines whose setuptools predates built-in editable wheels
+(PEP 660 needs the ``wheel`` package otherwise).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Compile-time analyses: loop-carried dependency detection."""
+
+from repro.analysis.lcd import LcdAnalysis, annotate_lcds
+
+__all__ = ["LcdAnalysis", "annotate_lcds"]

@@ -1,0 +1,123 @@
+"""Public facade: compile IdLite source and run it on any backend.
+
+    from repro import compile_source, SimConfig
+
+    program = compile_source('''
+        function main(n) {
+            A = matrix(n, n);
+            for i = 1 to n {
+                for j = 1 to n { A[i, j] = i * n + j; }
+            }
+            return A;
+        }
+    ''')
+    result = program.run_pods((8,), num_pes=4)
+    print(result.value.to_nested(), result.finish_time_s)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.common.config import MachineConfig, SimConfig
+from repro.graph import build_graph, ir, validate_graph
+from repro.lang import ast_nodes
+from repro.lang.parser import parse
+from repro.partitioner import PartitionReport, partition, partition_none
+from repro.sim.machine import Machine, RunResult
+from repro.translator import isa, translate
+
+
+@dataclass
+class Program:
+    """A compiled IdLite program, runnable on every backend."""
+
+    source: str
+    ast: ast_nodes.Program
+    graph: ir.ProgramGraph
+    pods: isa.PodsProgram
+    partition_report: PartitionReport
+    entry: str = "main"
+
+    # -- backends -----------------------------------------------------
+
+    def run_pods(self, args: tuple = (), num_pes: int = 1,
+                 config: SimConfig | None = None) -> RunResult:
+        """Run on the PODS instruction-level simulator."""
+        if config is None:
+            config = SimConfig(machine=MachineConfig(num_pes=num_pes))
+        elif config.machine.num_pes != num_pes and num_pes != 1:
+            config = config.with_pes(num_pes)
+        return Machine(self.pods, config).run(args)
+
+    def run_sequential(self, args: tuple = ()):
+        """Run on the sequential reference interpreter (the 'compiled C'
+        proxy of the paper's Section 5.3.4)."""
+        from repro.baseline.sequential import run_sequential
+
+        return run_sequential(self.ast, args, entry=self.entry)
+
+    def run_static(self, args: tuple = (), num_pes: int = 1,
+                   config: SimConfig | None = None):
+        """Run the Pingali & Rogers-style static-compilation baseline."""
+        from repro.baseline.static_pr import run_static
+
+        return run_static(self, args, num_pes=num_pes, config=config)
+
+    def run_parallel(self, args: tuple = (), workers: int = 2):
+        """Execute for real with the multiprocessing backend."""
+        from repro.parallel.executor import run_parallel
+
+        return run_parallel(self.ast, args, workers=workers, entry=self.entry)
+
+    # -- introspection ---------------------------------------------------
+
+    def listing(self) -> str:
+        """SP assembly listing (after translation + partitioning)."""
+        return self.pods.listing()
+
+    def graph_dump(self) -> str:
+        return self.graph.dump()
+
+    def graph_text(self) -> str:
+        """Figure 2-style indented scope view of the dataflow graph."""
+        from repro.graph.render import to_text
+
+        return to_text(self.graph)
+
+    def graph_dot(self) -> str:
+        """Graphviz DOT rendering of the dataflow graph."""
+        from repro.graph.render import to_dot
+
+        return to_dot(self.graph)
+
+
+def compile_source(source: str, entry: str = "main",
+                   distribute: bool = True,
+                   optimize: bool = False,
+                   rf_placement: str = "outer",
+                   aggressive: bool = False) -> Program:
+    """Compile IdLite source through the full PODS pipeline.
+
+    Stages (paper Figure 3): parse -> semantic analysis -> dataflow graph
+    -> LCD analysis + Partitioner (unless ``distribute=False``) ->
+    Translator -> SP templates.
+
+    ``optimize=True`` adds loop-invariant hoisting; the default is off
+    to match the paper's "no optimization techniques" configuration.
+    """
+    tree = parse(source)
+    graph = build_graph(tree, entry=entry)
+    if distribute:
+        report = partition(graph, placement=rf_placement,
+                           aggressive=aggressive)
+    else:
+        report = partition_none(graph)
+    if optimize:
+        from repro.graph.optimize import optimize_graph
+
+        optimize_graph(graph)
+    validate_graph(graph)
+    pods = translate(graph)
+    pods.name = entry
+    return Program(source=source, ast=tree, graph=graph, pods=pods,
+                   partition_report=report, entry=entry)

@@ -1,0 +1,19 @@
+"""Benchmark applications: SIMPLE, matrix multiply, relaxation stencil."""
+
+from repro.apps.livermore import compile_kernel, kernel_names
+from repro.apps.matmul import compile_matmul, reference_matmul
+from repro.apps.nbody import compile_nbody
+from repro.apps.simple_app import compile_simple, simple_source
+from repro.apps.stencil import compile_stencil, reference_stencil
+
+__all__ = [
+    "compile_kernel",
+    "compile_matmul",
+    "compile_nbody",
+    "compile_simple",
+    "compile_stencil",
+    "kernel_names",
+    "reference_matmul",
+    "reference_stencil",
+    "simple_source",
+]

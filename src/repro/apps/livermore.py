@@ -1,0 +1,122 @@
+"""Livermore-loop style kernels in IdLite.
+
+The Livermore Fortran kernels were the standard scientific loop mix of
+the paper's era; a representative subset exercises every partitioning
+regime the PODS algorithm distinguishes:
+
+=========  ================================  =================================
+kernel     loop shape                        expected partitioning
+=========  ================================  =================================
+hydro      x[k] = q + y[k]*(r*z[k+10]+...)   parallel -> distributed (LD+RF)
+inner      q = q + z[k]*x[k]                 scalar reduction -> local (LCD)
+tridiag    x[i] = z[i]*(y[i] - x[i-1])       chain -> local (LCD)
+eos        flop-heavy elementwise            parallel -> distributed
+first_sum  x[k] = x[k-1] + y[k]              prefix sum -> local (LCD)
+first_diff x[k] = y[k+1] - y[k]              parallel (reads another array)
+=========  ================================  =================================
+
+Each kernel function fills its inputs deterministically from ``n`` and
+returns a checksum so every backend can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.api import Program, compile_source
+
+KERNELS: dict[str, str] = {}
+
+KERNELS["hydro"] = """
+function main(n) {
+    x = array(n);
+    y = array(n);
+    z = array(n + 11);
+    for k = 1 to n + 11 { z[k] = 0.001 * k; }
+    for k = 1 to n { y[k] = 1.0 + 0.01 * (k % 9); }
+    for k = 1 to n {
+        x[k] = 0.5 + y[k] * (2.0 * z[k + 10] + 3.0 * z[k + 11]);
+    }
+    s = 0.0;
+    for k = 1 to n { next s = s + x[k]; }
+    return s;
+}
+"""
+
+KERNELS["inner"] = """
+function main(n) {
+    x = array(n);
+    z = array(n);
+    for k = 1 to n { x[k] = 0.5 + 0.01 * (k % 7); }
+    for k = 1 to n { z[k] = 1.0 + 0.02 * (k % 5); }
+    q = 0.0;
+    for k = 1 to n { next q = q + z[k] * x[k]; }
+    return q;
+}
+"""
+
+KERNELS["tridiag"] = """
+function main(n) {
+    x = array(n);
+    y = array(n);
+    z = array(n);
+    for i = 1 to n { y[i] = 1.0 + 0.01 * (i % 11); }
+    for i = 1 to n { z[i] = 0.3 + 0.001 * (i % 13); }
+    x[1] = z[1] * y[1];
+    for i = 2 to n { x[i] = z[i] * (y[i] - x[i - 1]); }
+    return x[n];
+}
+"""
+
+KERNELS["eos"] = """
+function main(n) {
+    u = array(n + 7);
+    x = array(n);
+    y = array(n);
+    z = array(n);
+    for k = 1 to n + 7 { u[k] = 0.5 + 0.001 * k; }
+    for k = 1 to n { z[k] = 1.0 + 0.01 * (k % 4); }
+    for k = 1 to n { y[k] = 0.9 + 0.02 * (k % 6); }
+    for k = 1 to n {
+        x[k] = u[k] + 0.7 * (z[k] * u[k + 3] + y[k] * u[k + 6])
+             + 0.2 * (u[k + 2] + y[k] * (u[k + 5] + z[k] * u[k + 7]));
+    }
+    s = 0.0;
+    for k = 1 to n { next s = s + x[k]; }
+    return s;
+}
+"""
+
+KERNELS["first_sum"] = """
+function main(n) {
+    x = array(n);
+    y = array(n);
+    for k = 1 to n { y[k] = 0.1 + 0.001 * (k % 17); }
+    x[1] = y[1];
+    for k = 2 to n { x[k] = x[k - 1] + y[k]; }
+    return x[n];
+}
+"""
+
+KERNELS["first_diff"] = """
+function main(n) {
+    x = array(n);
+    y = array(n + 1);
+    for k = 1 to n + 1 { y[k] = 1.0 * (k * k % 19); }
+    for k = 1 to n { x[k] = y[k + 1] - y[k]; }
+    s = 0.0;
+    for k = 1 to n { next s = s + x[k] * x[k]; }
+    return s;
+}
+"""
+
+# Which kernels the LCD analysis must keep local (the compute loop).
+SEQUENTIAL_KERNELS = {"inner", "tridiag", "first_sum"}
+PARALLEL_KERNELS = {"hydro", "eos", "first_diff"}
+
+
+def compile_kernel(name: str) -> Program:
+    """Compile one kernel through the PODS pipeline."""
+    return compile_source(KERNELS[name])
+
+
+def kernel_names() -> list[str]:
+    return sorted(KERNELS)

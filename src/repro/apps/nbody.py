@@ -1,0 +1,70 @@
+"""N-body (all-pairs) step — a different parallel shape for the stack.
+
+The force loop is the classic O(n^2) nest: for each body i, a full
+reduction over all bodies j.  The Partitioner distributes the i-loop by
+ownership of the force arrays; the inner j reduction is a scalar LCD and
+runs inside each body's SP — so each PE computes complete interactions
+for its band of bodies, reading every other body's position through the
+page cache (an all-gather access pattern, unlike SIMPLE's neighbour
+stencils).
+"""
+
+from __future__ import annotations
+
+from repro.api import Program, compile_source
+
+NBODY_SOURCE = """
+# Softened inverse-square pairwise force along one axis.
+function pair_force(dx, dy) {
+    r2 = dx * dx + dy * dy + 0.01;
+    return dx / (r2 * sqrt(r2));
+}
+
+function main(n, steps) {
+    dt = 0.001;
+    X = array(n);   Y = array(n);
+    VX = array(n);  VY = array(n);
+    for i = 1 to n {
+        X[i] = 1.0 * (i % 13) + 0.1 * i;
+        Y[i] = 1.0 * ((i * 7) % 11) - 0.05 * i;
+        VX[i] = 0.0;
+        VY[i] = 0.0;
+    }
+    for t = 1 to steps {
+        FX = array(n);  FY = array(n);
+        Xn = array(n);  Yn = array(n);
+        VXn = array(n); VYn = array(n);
+        # all-pairs forces: distributed over bodies, reduction inside
+        for i = 1 to n {
+            fx = 0.0;
+            fy = 0.0;
+            for j = 1 to n {
+                next fx = fx + (if j == i then 0.0
+                                else pair_force(X[j] - X[i], Y[j] - Y[i]));
+                next fy = fy + (if j == i then 0.0
+                                else pair_force(Y[j] - Y[i], X[j] - X[i]));
+            }
+            FX[i] = fx;
+            FY[i] = fy;
+        }
+        # leapfrog update (distributed, elementwise)
+        for i = 1 to n {
+            VXn[i] = VX[i] + dt * FX[i];
+            VYn[i] = VY[i] + dt * FY[i];
+            Xn[i] = X[i] + dt * VXn[i];
+            Yn[i] = Y[i] + dt * VYn[i];
+        }
+        next X = Xn;   next Y = Yn;
+        next VX = VXn; next VY = VYn;
+    }
+    # kinetic-energy checksum
+    ke = 0.0;
+    for i = 1 to n { next ke = ke + VX[i] * VX[i] + VY[i] * VY[i]; }
+    return ke;
+}
+"""
+
+
+def compile_nbody() -> Program:
+    """Compile the n-body step through the PODS pipeline."""
+    return compile_source(NBODY_SOURCE)

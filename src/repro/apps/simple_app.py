@@ -1,0 +1,311 @@
+"""The SIMPLE benchmark in IdLite (paper Section 5.2).
+
+SIMPLE (Crowley, Henderson & Rudy, LLNL UCID-17715) is a Lagrangian
+hydrodynamics + heat-conduction simulation of a fluid in a sphere.  The
+paper evaluates PODS on it because it is "indicative of the large-scale
+scientific code which is executed on supercomputers today".
+
+This is a structurally faithful re-expression on an n x n mesh.  What
+matters for the reproduction is the *shape* the paper leans on, which is
+preserved exactly:
+
+* ``velocity_position`` — "no LCDs, no function calls, and runs in
+  parallel very well": one interior nest plus boundary loops, every level
+  free of loop-carried dependencies;
+* ``hydrodynamics`` — "only 5 SPs and is basically one big nested loop":
+  a single interior nest with EOS/viscosity function calls;
+* ``conduction`` — "the most difficult to parallelize": two *sweep
+  phases* where every element is recalculated from its neighbours, one
+  ascending and one descending LCD loop, inner parallel loops, and
+  function calls;
+* a sequential time-stepping driver carrying the state arrays with
+  ``next`` (each step allocates fresh single-assignment arrays), and a
+  ``total_energy`` reduction producing the scalar the backends are
+  compared on.
+
+The physics constants are tamed so values stay bounded for any mesh size
+and step count; the per-element float-operation mix matches the flop
+density a hydro code exhibits, which is what drives the utilization and
+speedup figures.
+"""
+
+from __future__ import annotations
+
+from repro.api import Program, compile_source
+
+_COMMON = """
+# gamma-law equation of state with a sound-speed term
+function eos(rho, e) {
+    return 0.4 * rho * e + 0.01 * sqrt(rho * e);
+}
+
+# local sound speed (gamma-law)
+function sound_speed(rho, p) {
+    return sqrt(1.4 * p / max(rho, 0.01));
+}
+
+# von Neumann-Richtmyer artificial viscosity with linear term
+function viscosity(rho, div, cs) {
+    return if div < 0.0
+           then 2.0 * rho * div * div + 0.1 * rho * cs * abs(div)
+           else 0.0;
+}
+
+# conductivity coefficient: the original SIMPLE uses a theta^(5/2)
+# radiation-conduction law (fractional powers dominate the coefficient
+# pass on the 80387, where FPOW costs 96.4 us)
+function kappa(theta) {
+    t = max(theta, 0.001);
+    return 0.01 + 0.001 * (t ^ 2.5) / (1.0 + t * t);
+}
+
+# Phase 1 of each cycle: update velocities from pressure gradients and
+# move the mesh.  No loop-carried dependencies anywhere.
+function velocity_position(n, dt, U, V, X, Y, P, Q, Rho, Un, Vn, Xn, Yn) {
+    for k = 2 to n - 1 {
+        for l = 2 to n - 1 {
+            # area-weighted pressure gradients over the quadrilateral zone
+            ax = 0.5 * (X[k, l + 1] - X[k, l - 1]);
+            ay = 0.5 * (Y[k + 1, l] - Y[k - 1, l]);
+            w = max(ax * ay, 0.0001);
+            gpx = (P[k, l + 1] - P[k, l - 1] + Q[k, l + 1] - Q[k, l - 1])
+                  * 0.5 / w;
+            gpy = (P[k + 1, l] - P[k - 1, l] + Q[k + 1, l] - Q[k - 1, l])
+                  * 0.5 / w;
+            du = -gpx / Rho[k, l];
+            dv = -gpy / Rho[k, l];
+            # velocity magnitude limiter (keeps the mesh sane)
+            sp = sqrt(du * du + dv * dv + 0.0001);
+            lim = min(1.0, 10.0 / sp);
+            Un[k, l] = U[k, l] + dt * du * lim;
+            Vn[k, l] = V[k, l] + dt * dv * lim;
+            Xn[k, l] = X[k, l] + dt * Un[k, l];
+            Yn[k, l] = Y[k, l] + dt * Vn[k, l];
+        }
+    }
+    # reflective boundaries: first/last rows ...
+    for l = 1 to n {
+        Un[1, l] = 0.0;  Vn[1, l] = 0.0;
+        Xn[1, l] = X[1, l];  Yn[1, l] = Y[1, l];
+        Un[n, l] = 0.0;  Vn[n, l] = 0.0;
+        Xn[n, l] = X[n, l];  Yn[n, l] = Y[n, l];
+    }
+    # ... and first/last columns
+    for k = 2 to n - 1 {
+        Un[k, 1] = 0.0;  Vn[k, 1] = 0.0;
+        Xn[k, 1] = X[k, 1];  Yn[k, 1] = Y[k, 1];
+        Un[k, n] = 0.0;  Vn[k, n] = 0.0;
+        Xn[k, n] = X[k, n];  Yn[k, n] = Y[k, n];
+    }
+    return 0;
+}
+
+# Phase 2: density/energy/pressure/viscosity update - one big nested
+# loop over the interior, consuming the phase-1 velocities.
+function hydrodynamics(n, dt, U, V, Rho, E, P, Rhon, En, Pn, Qn) {
+    for k = 2 to n - 1 {
+        for l = 2 to n - 1 {
+            div = (U[k, l + 1] - U[k, l - 1]) * 0.5
+                + (V[k + 1, l] - V[k - 1, l]) * 0.5;
+            curl = (V[k, l + 1] - V[k, l - 1]) * 0.5
+                 - (U[k + 1, l] - U[k - 1, l]) * 0.5;
+            r = max(Rho[k, l] * (1.0 - dt * div), 0.01);
+            Rhon[k, l] = r;
+            cs = sound_speed(r, P[k, l]);
+            q = viscosity(r, div, cs);
+            Qn[k, l] = q;
+            # two-pass energy update (predictor/corrector)
+            e0 = max(E[k, l] - dt * (P[k, l] + q) * div / r, 0.001);
+            p0 = eos(r, e0);
+            e = max(E[k, l] - dt * (0.5 * (P[k, l] + p0) + q) * div / r
+                    + dt * 0.001 * curl * curl, 0.001);
+            En[k, l] = e;
+            Pn[k, l] = eos(r, e);
+        }
+    }
+    for l = 1 to n {
+        Rhon[1, l] = Rho[1, l];  En[1, l] = E[1, l];
+        Pn[1, l] = P[1, l];      Qn[1, l] = 0.0;
+        Rhon[n, l] = Rho[n, l];  En[n, l] = E[n, l];
+        Pn[n, l] = P[n, l];      Qn[n, l] = 0.0;
+    }
+    for k = 2 to n - 1 {
+        Rhon[k, 1] = Rho[k, 1];  En[k, 1] = E[k, 1];
+        Pn[k, 1] = P[k, 1];      Qn[k, 1] = 0.0;
+        Rhon[k, n] = Rho[k, n];  En[k, n] = E[k, n];
+        Pn[k, n] = P[k, n];      Qn[k, n] = 0.0;
+    }
+    return 0;
+}
+
+# Phase 3: heat conduction.  Two sweep phases recalculate every element
+# from its neighbours - an ascending and a descending LCD loop - plus
+# parallel pre/post passes with conductivity calls.  This is the routine
+# the paper singles out as hardest to parallelize.
+function conduction(n, dt, E, Rho, Theta, Thetan, En2) {
+    D = matrix(n, n);                      # conduction coefficients
+    CP = matrix(n, n);  DP = matrix(n, n); # k-pass Thomas coefficients
+    TK = matrix(n, n);                     # temperature after the k-pass
+    CQ = matrix(n, n);  DQ = matrix(n, n); # l-pass Thomas coefficients
+    TL = matrix(n, n);                     # temperature after the l-pass
+
+    # temperature and conductivity coefficients (parallel, with calls)
+    for k = 1 to n {
+        for l = 1 to n {
+            cvr = max(Rho[k, l], 0.01);
+            t0 = E[k, l] / cvr * 10.0;
+            Thetan[k, l] = t0;
+            D[k, l] = kappa(t0) * dt / cvr + 0.001 * sqrt(t0 + 1.0);
+        }
+    }
+
+    # k-direction implicit pass: forward elimination is an ascending
+    # loop-carried dependency on k ...
+    for l = 1 to n {
+        CP[1, l] = 0.0;
+        DP[1, l] = Thetan[1, l];
+    }
+    for k = 2 to n {
+        for l = 1 to n {
+            # harmonic-mean face conductivities (as in the ADI solver of
+            # the original SIMPLE), then one Thomas elimination step
+            alo = 2.0 * D[k, l] * D[k - 1, l]
+                  / max(D[k, l] + D[k - 1, l], 0.0001);
+            ahi = 2.0 * D[k, l] * D[min(k + 1, n), l]
+                  / max(D[k, l] + D[min(k + 1, n), l], 0.0001);
+            b = 1.0 + alo + ahi + 0.01 * sqrt(alo * ahi + 1.0);
+            denom = b - alo * CP[k - 1, l];
+            CP[k, l] = ahi / denom;
+            DP[k, l] = (Thetan[k, l] + alo * DP[k - 1, l]) / denom;
+        }
+    }
+    # ... and back substitution a descending one.
+    for l = 1 to n { TK[n, l] = DP[n, l]; }
+    for k = n - 1 downto 1 {
+        for l = 1 to n {
+            TK[k, l] = DP[k, l] - CP[k, l] * TK[k + 1, l]
+                     + 0.0001 * sqrt(abs(DP[k, l]) + 1.0);
+        }
+    }
+
+    # l-direction implicit pass: rows are independent (distributed over
+    # the PEs); the recurrence along l runs inside each row's SP.
+    for k = 1 to n {
+        CQ[k, 1] = 0.0;
+        DQ[k, 1] = TK[k, 1];
+        for l = 2 to n {
+            alo = 2.0 * D[k, l] * D[k, l - 1]
+                  / max(D[k, l] + D[k, l - 1], 0.0001);
+            ahi = 2.0 * D[k, l] * D[k, min(l + 1, n)]
+                  / max(D[k, l] + D[k, min(l + 1, n)], 0.0001);
+            b = 1.0 + alo + ahi + 0.01 * sqrt(alo * ahi + 1.0);
+            denom = b - alo * CQ[k, l - 1];
+            CQ[k, l] = ahi / denom;
+            DQ[k, l] = (TK[k, l] + alo * DQ[k, l - 1]) / denom;
+        }
+    }
+    for k = 1 to n {
+        TL[k, n] = DQ[k, n];
+        for l = n - 1 downto 1 {
+            TL[k, l] = DQ[k, l] - CQ[k, l] * TL[k, l + 1]
+                     + 0.0001 * sqrt(abs(DQ[k, l]) + 1.0);
+        }
+    }
+
+    # energy balance (parallel)
+    for k = 1 to n {
+        for l = 1 to n {
+            En2[k, l] = 0.9 * E[k, l]
+                      + 0.1 * TL[k, l] * max(Rho[k, l], 0.01) * 0.1;
+        }
+    }
+    return 0;
+}
+
+function total_energy(n, E) {
+    s = 0.0;
+    for k = 1 to n {
+        row = 0.0;
+        for l = 1 to n { next row = row + E[k, l]; }
+        next s = s + row;
+    }
+    return s;
+}
+
+function init_state(n, U, V, X, Y, Rho, E, P, Q, Theta) {
+    for k = 1 to n {
+        for l = 1 to n {
+            U[k, l] = 0.0;
+            V[k, l] = 0.0;
+            X[k, l] = 1.0 * l;
+            Y[k, l] = 1.0 * k;
+            Rho[k, l] = 1.0 + 0.1 * ((k + l) % 5);
+            E[k, l] = 1.0 + 0.05 * ((k * l) % 7);
+            P[k, l] = 0.4 * Rho[k, l] * E[k, l];
+            Q[k, l] = 0.0;
+            Theta[k, l] = E[k, l] * 10.0;
+        }
+    }
+    return 0;
+}
+"""
+
+_FULL_MAIN = """
+function main(n, steps) {
+    dt = 0.05;
+    U = matrix(n, n);     V = matrix(n, n);
+    X = matrix(n, n);     Y = matrix(n, n);
+    Rho = matrix(n, n);   E = matrix(n, n);
+    P = matrix(n, n);     Q = matrix(n, n);
+    Theta = matrix(n, n);
+    d0 = init_state(n, U, V, X, Y, Rho, E, P, Q, Theta);
+    for t = 1 to steps {
+        Un = matrix(n, n);     Vn = matrix(n, n);
+        Xn = matrix(n, n);     Yn = matrix(n, n);
+        Rhon = matrix(n, n);   En = matrix(n, n);
+        Pn = matrix(n, n);     Qn = matrix(n, n);
+        Thetan = matrix(n, n); En2 = matrix(n, n);
+        d1 = velocity_position(n, dt, U, V, X, Y, P, Q, Rho, Un, Vn, Xn, Yn);
+        d2 = hydrodynamics(n, dt, Un, Vn, Rho, E, P, Rhon, En, Pn, Qn);
+        d3 = conduction(n, dt, En, Rhon, Theta, Thetan, En2);
+        next U = Un;       next V = Vn;
+        next X = Xn;       next Y = Yn;
+        next Rho = Rhon;   next E = En2;
+        next P = Pn;       next Q = Qn;
+        next Theta = Thetan;
+    }
+    return total_energy(n, E);
+}
+"""
+
+_CONDUCTION_MAIN = """
+function main(n, steps) {
+    dt = 0.05;
+    U = matrix(n, n);     V = matrix(n, n);
+    X = matrix(n, n);     Y = matrix(n, n);
+    Rho = matrix(n, n);   E = matrix(n, n);
+    P = matrix(n, n);     Q = matrix(n, n);
+    Theta = matrix(n, n);
+    d0 = init_state(n, U, V, X, Y, Rho, E, P, Q, Theta);
+    for t = 1 to steps {
+        Thetan = matrix(n, n);
+        En2 = matrix(n, n);
+        d3 = conduction(n, dt, E, Rho, Theta, Thetan, En2);
+        next E = En2;
+        next Theta = Thetan;
+    }
+    return total_energy(n, E);
+}
+"""
+
+
+def simple_source(conduction_only: bool = False) -> str:
+    """IdLite source of SIMPLE (full cycle or the Section 5.3.4
+    conduction-only variant)."""
+    main = _CONDUCTION_MAIN if conduction_only else _FULL_MAIN
+    return _COMMON + main
+
+
+def compile_simple(conduction_only: bool = False) -> Program:
+    """Compile SIMPLE through the PODS pipeline."""
+    return compile_source(simple_source(conduction_only))

@@ -1,0 +1,7 @@
+"""Reference baselines: sequential C-proxy and the P&R static model."""
+
+from repro.baseline.sequential import Interpreter, SeqResult, run_sequential
+from repro.baseline.static_pr import StaticResult, run_static
+
+__all__ = ["Interpreter", "SeqResult", "StaticResult", "run_sequential",
+           "run_static"]

@@ -1,0 +1,107 @@
+"""Figure generators callable as a library (and via ``pods reproduce``).
+
+These produce reduced-scale versions of the paper's figures quickly —
+the full-scale regeneration lives in ``benchmarks/`` under
+pytest-benchmark.  Useful for demos, docs, and smoke checks:
+
+    from repro.bench.figures import figure10
+    print(figure10(sizes=(16,), pe_counts=(1, 2, 4, 8)).text)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import Sweeper
+from repro.bench.report import render_series_chart, render_table
+from repro.sim.stats import UNITS
+
+
+@dataclass
+class Figure:
+    """A regenerated figure: the text report plus its raw series."""
+
+    name: str
+    text: str
+    data: dict
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _simple_program():
+    from repro.apps.simple_app import compile_simple
+
+    return compile_simple()
+
+
+def figure8(pe_counts: tuple = (1, 2, 4, 8), size: int = 16,
+            steps: int = 1, sweeper: Sweeper | None = None) -> Figure:
+    """Functional-unit balance (paper Figure 8), reduced scale."""
+    sweeper = sweeper or Sweeper()
+    program = _simple_program()
+    rows = []
+    data: dict = {}
+    for pes in pe_counts:
+        point = sweeper.run(program, (size, steps), pes, key="fig8")
+        data[pes] = point.utilization
+        rows.append([pes] + [f"{point.utilization[u] * 100:.1f}%"
+                             for u in UNITS])
+    text = (f"Figure 8 (reduced) - unit utilization, SIMPLE {size}x{size}\n\n"
+            + render_table(["PEs"] + list(UNITS), rows))
+    return Figure("fig8", text, data)
+
+
+def figure9(pe_counts: tuple = (1, 2, 4, 8), sizes: tuple = (16, 24),
+            steps: int = 1, sweeper: Sweeper | None = None) -> Figure:
+    """EU utilization by problem size (paper Figure 9), reduced scale."""
+    sweeper = sweeper or Sweeper()
+    program = _simple_program()
+    data: dict = {n: {} for n in sizes}
+    for n in sizes:
+        for pes in pe_counts:
+            point = sweeper.run(program, (n, steps), pes, key="fig9")
+            data[n][pes] = point.utilization["EU"]
+    rows = [[pes] + [f"{data[n][pes] * 100:.1f}%" for n in sizes]
+            for pes in pe_counts]
+    text = ("Figure 9 (reduced) - EU utilization for SIMPLE\n\n"
+            + render_table(["PEs"] + [f"{n}x{n}" for n in sizes], rows))
+    return Figure("fig9", text, data)
+
+
+def figure10(pe_counts: tuple = (1, 2, 4, 8), sizes: tuple = (16, 24),
+             steps: int = 2, sweeper: Sweeper | None = None) -> Figure:
+    """Speed-up curves (paper Figure 10), reduced scale."""
+    sweeper = sweeper or Sweeper()
+    program = _simple_program()
+    data: dict = {}
+    for n in sizes:
+        base = sweeper.run(program, (n, steps), pe_counts[0], key="fig10")
+        data[n] = {}
+        for pes in pe_counts:
+            point = sweeper.run(program, (n, steps), pes, key="fig10")
+            data[n][pes] = base.time_us / point.time_us
+    rows = [[pes] + [f"{data[n][pes]:.2f}" for n in sizes]
+            for pes in pe_counts]
+    chart = render_series_chart(
+        list(pe_counts),
+        {f"{n}x{n}": [data[n][p] for p in pe_counts] for n in sizes},
+        y_label="speed-up vs PEs",
+    )
+    text = ("Figure 10 (reduced) - speed-up of SIMPLE\n\n"
+            + render_table(["PEs"] + [f"{n}x{n}" for n in sizes], rows)
+            + "\n\n" + chart)
+    return Figure("fig10", text, data)
+
+
+FIGURES = {"fig8": figure8, "fig9": figure9, "fig10": figure10}
+
+
+def reproduce(name: str) -> Figure:
+    """Regenerate one figure by name ('fig8' | 'fig9' | 'fig10')."""
+    try:
+        return FIGURES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
+        ) from None

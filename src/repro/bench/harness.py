@@ -1,0 +1,96 @@
+"""Sweep runner shared by the per-figure benchmark modules.
+
+Caches simulation results per (program, args, pe-count, config fields)
+within a process so the figure modules — which overlap heavily in the
+points they need — never run the same configuration twice.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.api import Program
+from repro.common.config import MachineConfig, SimConfig
+from repro.sim.stats import UNITS
+
+# Full paper scale is opt-in: the default grid keeps `pytest benchmarks/`
+# in a few minutes on a laptop.
+FULL_SCALE = bool(os.environ.get("PODS_BENCH_FULL"))
+
+PE_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+@dataclass
+class Point:
+    """One simulated configuration (everything the figures consume)."""
+
+    n: int
+    pes: int
+    time_us: float
+    utilization: dict[str, float]
+    value: float
+    instructions: int
+    remote_reads: int
+    context_switches: int
+    extras: dict = field(default_factory=dict)
+
+
+class Sweeper:
+    """Runs and memoizes PODS simulations for the bench modules."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, Point] = {}
+
+    def run(self, program: Program, args: tuple, pes: int,
+            key: str = "", **machine_kwargs) -> Point:
+        cache_key = (key or program.pods.name, args, pes,
+                     tuple(sorted(machine_kwargs.items())))
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        config = SimConfig(machine=MachineConfig(num_pes=pes, **machine_kwargs))
+        result = program.run_pods(args, num_pes=pes, config=config)
+        stats = result.stats
+        point = Point(
+            n=args[0] if args else 0,
+            pes=pes,
+            time_us=result.finish_time_us,
+            utilization={u: stats.utilization(u) for u in UNITS},
+            value=result.value if isinstance(result.value, (int, float)) else 0.0,
+            instructions=stats.instructions,
+            remote_reads=stats.remote_reads,
+            context_switches=stats.context_switches,
+        )
+        self._cache[cache_key] = point
+        return point
+
+    def speedups(self, program: Program, args: tuple,
+                 pe_counts: list[int] | None = None,
+                 key: str = "", **machine_kwargs) -> dict[int, float]:
+        """PE count -> speedup relative to the 1-PE run."""
+        counts = pe_counts or PE_COUNTS
+        base = self.run(program, args, 1, key=key, **machine_kwargs)
+        out = {1: 1.0}
+        for pes in counts:
+            if pes == 1:
+                continue
+            point = self.run(program, args, pes, key=key, **machine_kwargs)
+            out[pes] = base.time_us / point.time_us
+        return out
+
+
+def results_dir() -> str:
+    """Directory the bench modules drop their text reports into."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_report(name: str, text: str) -> str:
+    """Write a figure/table report; returns the path."""
+    path = os.path.join(results_dir(), name)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path

@@ -1,0 +1,85 @@
+"""Plain-text tables and charts for the benchmark harness.
+
+The paper's figures are bar/line charts; these helpers render the same
+series as aligned ASCII so a terminal run of the bench suite reproduces
+each one at a glance, and the text lands verbatim in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width table; floats get 3 significant decimals."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     width: int = 50, unit: str = "") -> str:
+    """Horizontal bars scaled to the maximum value."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_w = max(len(l) for l in labels) if labels else 0
+    out = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        out.append(f"{label.rjust(label_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(out)
+
+
+def render_series_chart(x_values: Sequence, series: dict[str, Sequence[float]],
+                        height: int = 16, width: int = 64,
+                        y_label: str = "") -> str:
+    """Multi-series scatter in ASCII (the Figure 10 style plot).
+
+    Each series gets a distinct mark; x positions are spread uniformly
+    over the x_values (which is how the paper's PE-count axis reads).
+    """
+    marks = "*o+x@%&"
+    flat = [v for vals in series.values() for v in vals if v is not None]
+    peak = max(flat) if flat else 1.0
+    peak = peak or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        for xi, value in enumerate(vals):
+            if value is None:
+                continue
+            col = round(xi * (width - 1) / max(1, len(x_values) - 1))
+            row = height - 1 - round((height - 1) * value / peak)
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = mark
+    lines = []
+    for r, row in enumerate(grid):
+        y_val = peak * (height - 1 - r) / (height - 1)
+        lines.append(f"{y_val:7.1f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    x_marks = "  ".join(str(x) for x in x_values)
+    lines.append(" " * 10 + x_marks)
+    legend = "   ".join(f"{marks[i % len(marks)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append("legend: " + legend)
+    if y_label:
+        lines.insert(0, y_label)
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,253 @@
+"""``pods`` command line: compile, inspect and run IdLite programs.
+
+Examples::
+
+    pods run program.idl --args 16 --pes 8
+    pods run program.idl --backend sequential --args 16
+    pods listing program.idl
+    pods graph program.idl
+    pods partition program.idl
+    pods simple --size 16 --steps 2 --pes 1,4,8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import compile_source
+from repro.common.errors import PodsError
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _load(path: str, optimize: bool = False):
+    with open(path) as fh:
+        return compile_source(fh.read(), optimize=optimize)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    call_args = tuple(_parse_value(a) for a in (args.args or []))
+    if args.file.endswith(".pods"):
+        # Pre-translated program (the .pods files of Figure 3).
+        from repro.common.config import MachineConfig, SimConfig
+        from repro.sim.machine import run_program
+        from repro.translator.serialize import load_program
+
+        if args.backend != "pods":
+            print("error: .pods files run on the PODS simulator only",
+                  file=sys.stderr)
+            return 1
+        pods = load_program(args.file)
+        config = SimConfig(machine=MachineConfig(num_pes=args.pes))
+        result = run_program(pods, call_args, config)
+        print(f"value: {result.value}")
+        print(f"modeled time: {result.finish_time_s:.6f} s on {args.pes} PEs")
+        if args.stats:
+            print(result.stats.report())
+        return 0
+    program = _load(args.file, optimize=args.optimize)
+    if args.backend == "sequential":
+        result = program.run_sequential(call_args)
+        print(f"value: {result.value}")
+        print(f"modeled time: {result.time_s:.6f} s")
+    elif args.backend == "static":
+        result = program.run_static(call_args, num_pes=args.pes)
+        print(f"value: {result.value}")
+        print(f"modeled time: {result.time_s:.6f} s on {args.pes} PEs")
+    elif args.backend == "parallel":
+        result = program.run_parallel(call_args, workers=args.pes)
+        print(f"value: {result.value}")
+        print(f"wall time: {result.wall_time_s:.3f} s on {result.workers} "
+              "workers")
+    else:
+        result = program.run_pods(call_args, num_pes=args.pes)
+        print(f"value: {result.value}")
+        print(f"modeled time: {result.finish_time_s:.6f} s on {args.pes} PEs")
+        if args.stats:
+            print(result.stats.report())
+    return 0
+
+
+def _cmd_listing(args: argparse.Namespace) -> int:
+    print(_load(args.file).listing())
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    if args.dot:
+        print(program.graph_dot())
+    else:
+        print(program.graph_text())
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    print(_load(args.file).partition_report.summary())
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.translator.serialize import save_program
+
+    program = _load(args.file, optimize=args.optimize)
+    out = args.output or (args.file.rsplit(".", 1)[0] + ".pods")
+    save_program(program.pods, out)
+    count = program.pods.instruction_count()
+    print(f"wrote {out}: {len(program.pods.templates)} SPs, "
+          f"{count} instructions")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.common.config import MachineConfig, SimConfig
+    from repro.sim.machine import Machine
+
+    program = _load(args.file)
+    call_args = tuple(_parse_value(a) for a in (args.args or []))
+    config = SimConfig(machine=MachineConfig(num_pes=args.pes), trace=True)
+    machine = Machine(program.pods, config)
+    result = machine.run(call_args)
+    print(f"value: {result.value}")
+    print(f"modeled time: {result.finish_time_s:.6f} s\n")
+    print(machine.tracer.summary())
+    print()
+    from repro.sim.trace import timeline
+
+    print(timeline(machine.tracer, args.pes, result.finish_time_us))
+    print()
+    events = machine.tracer.events
+    if args.kind:
+        events = [e for e in events if e.kind == args.kind]
+    for event in events[:args.limit]:
+        print(event.format())
+    if len(events) > args.limit:
+        print(f"... {len(events) - args.limit} more events")
+    return 0
+
+
+def _cmd_format(args: argparse.Namespace) -> int:
+    from repro.lang.parser import parse
+    from repro.lang.pprint import format_program
+
+    with open(args.file) as fh:
+        print(format_program(parse(fh.read())), end="")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.bench.figures import reproduce
+
+    figure = reproduce(args.figure)
+    print(figure.text)
+    return 0
+
+
+def _cmd_simple(args: argparse.Namespace) -> int:
+    from repro.apps.simple_app import compile_simple
+
+    program = compile_simple(conduction_only=args.conduction_only)
+    pes = [int(p) for p in args.pes.split(",")]
+    base = None
+    for p in pes:
+        result = program.run_pods((args.size, args.steps), num_pes=p)
+        if base is None:
+            base = result.finish_time_us
+        print(f"{p:3d} PEs: {result.finish_time_s:8.4f} s  "
+              f"speed-up {base / result.finish_time_us:5.2f}  "
+              f"EU {result.stats.utilization('EU') * 100:5.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pods",
+        description="PODS: process-oriented dataflow system (ICDCS 1992 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile and execute a program")
+    run.add_argument("file")
+    run.add_argument("--args", nargs="*", help="main() arguments")
+    run.add_argument("--pes", type=int, default=1,
+                     help="PE / worker count (default 1)")
+    run.add_argument("--backend", default="pods",
+                     choices=["pods", "sequential", "static", "parallel"])
+    run.add_argument("--stats", action="store_true",
+                     help="print the machine statistics report")
+    run.add_argument("--optimize", action="store_true",
+                     help="enable CSE + invariant hoisting + DCE")
+    run.set_defaults(func=_cmd_run)
+
+    listing = sub.add_parser("listing", help="show the SP assembly listing")
+    listing.add_argument("file")
+    listing.set_defaults(func=_cmd_listing)
+
+    graph = sub.add_parser("graph", help="dump the dataflow graph")
+    graph.add_argument("file")
+    graph.add_argument("--dot", action="store_true",
+                       help="emit Graphviz DOT instead of text")
+    graph.set_defaults(func=_cmd_graph)
+
+    part = sub.add_parser("partition", help="show partitioner decisions")
+    part.add_argument("file")
+    part.set_defaults(func=_cmd_partition)
+
+    comp = sub.add_parser("compile", help="translate to a .pods file")
+    comp.add_argument("file")
+    comp.add_argument("-o", "--output", help="output path (default: "
+                      "source name with .pods)")
+    comp.add_argument("--optimize", action="store_true")
+    comp.set_defaults(func=_cmd_compile)
+
+    trace = sub.add_parser("trace", help="run with event tracing")
+    trace.add_argument("file")
+    trace.add_argument("--args", nargs="*", help="main() arguments")
+    trace.add_argument("--pes", type=int, default=2)
+    trace.add_argument("--limit", type=int, default=40,
+                       help="events to print (default 40)")
+    trace.add_argument("--kind", help="filter by event kind "
+                       "(frame-create, block, message, ...)")
+    trace.set_defaults(func=_cmd_trace)
+
+    fmt = sub.add_parser("format", help="pretty-print a program")
+    fmt.add_argument("file")
+    fmt.set_defaults(func=_cmd_format)
+
+    repro_cmd = sub.add_parser(
+        "reproduce", help="regenerate a paper figure at reduced scale")
+    repro_cmd.add_argument("figure", choices=["fig8", "fig9", "fig10"])
+    repro_cmd.set_defaults(func=_cmd_reproduce)
+
+    simple = sub.add_parser("simple", help="run the SIMPLE benchmark")
+    simple.add_argument("--size", type=int, default=16)
+    simple.add_argument("--steps", type=int, default=2)
+    simple.add_argument("--pes", default="1,4,8")
+    simple.add_argument("--conduction-only", action="store_true")
+    simple.set_defaults(func=_cmd_simple)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except PodsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

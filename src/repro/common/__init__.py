@@ -1,0 +1,38 @@
+"""Shared infrastructure: errors, configuration, value helpers."""
+
+from repro.common.config import MachineConfig, SimConfig
+from repro.common.errors import (
+    BoundsViolation,
+    DeadlockError,
+    ExecutionError,
+    GraphError,
+    LanguageError,
+    LexError,
+    ParseError,
+    PartitionError,
+    PodsError,
+    RuntimeFault,
+    SemanticError,
+    SingleAssignmentViolation,
+    SourceLocation,
+    TranslationError,
+)
+
+__all__ = [
+    "BoundsViolation",
+    "DeadlockError",
+    "ExecutionError",
+    "GraphError",
+    "LanguageError",
+    "LexError",
+    "MachineConfig",
+    "ParseError",
+    "PartitionError",
+    "PodsError",
+    "RuntimeFault",
+    "SemanticError",
+    "SimConfig",
+    "SingleAssignmentViolation",
+    "SourceLocation",
+    "TranslationError",
+]

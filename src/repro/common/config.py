@@ -1,0 +1,90 @@
+"""Machine and simulation configuration.
+
+The defaults reproduce the target architecture of the paper's Section 5.1:
+an Intel iPSC/2 hypercube of 16 MHz 80386/80387 nodes with Direct-Connect
+communication, simulated at the instruction level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated multiprocessor.
+
+    Attributes:
+        num_pes: Number of processing elements (the paper sweeps 1..32).
+        page_size: Elements per array page.  The paper determined 32
+            elements (~2 KB) to be the best size for the iPSC/2 and found
+            the parameter non-critical (Section 4.1).
+        token_batch: Tokens batched per network message by the Routing
+            Unit (Section 5.1 uses groups of 20).
+        avg_hops: Average network hop count modeled (2.5 in the paper).
+        element_bytes: Bytes per array element, used to size page messages.
+        cache_enabled: Whether remote reads fill the page-grain software
+            cache (Section 4's remote data caching; disable for ablation).
+        split_phase_reads: Whether remote reads are split-phase
+            (issue-and-continue) as in the paper, or blocking (ablation /
+            the P&R-style baseline behaviour).
+        function_placement: Where non-distributed function-call spawns
+            instantiate.  ``"local"`` keeps them on the calling PE (data
+            parallelism only); ``"round_robin"`` spreads them over the
+            machine — the *functional parallelism* PODS also supports
+            (Section 4: "PODS supports both functional and data
+            parallelism"), profitable for divide-and-conquer call trees.
+    """
+
+    num_pes: int = 1
+    page_size: int = 32
+    token_batch: int = 20
+    avg_hops: float = 2.5
+    element_bytes: int = 8
+    cache_enabled: bool = True
+    split_phase_reads: bool = True
+    function_placement: str = "local"
+    spawn_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError(f"num_pes must be >= 1, got {self.num_pes}")
+        if self.page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {self.page_size}")
+        if self.token_batch < 1:
+            raise ValueError(f"token_batch must be >= 1, got {self.token_batch}")
+        if self.function_placement not in ("local", "round_robin"):
+            raise ValueError(
+                f"unknown function_placement {self.function_placement!r}")
+        if self.spawn_budget is not None and self.spawn_budget < 1:
+            raise ValueError("spawn_budget must be >= 1")
+
+    def with_pes(self, num_pes: int) -> "MachineConfig":
+        """Return a copy of this config with a different PE count."""
+        return replace(self, num_pes=num_pes)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Dynamic knobs for one simulation run.
+
+    Attributes:
+        machine: The machine being simulated.
+        max_events: Safety valve against runaway programs; the simulator
+            aborts with a diagnostic once this many events have fired.
+        trace: Emit a per-event trace (very verbose; tests only).
+        jitter_seed: When not None, adds deterministic pseudo-random delays
+            to message deliveries.  Used by the Church-Rosser property
+            tests: results must not change, only timings.
+        jitter_max_us: Upper bound of the injected delay in microseconds.
+    """
+
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    max_events: int = 200_000_000
+    trace: bool = False
+    jitter_seed: int | None = None
+    jitter_max_us: float = 50.0
+
+    def with_pes(self, num_pes: int) -> "SimConfig":
+        """Return a copy of this config with a different PE count."""
+        return replace(self, machine=self.machine.with_pes(num_pes))

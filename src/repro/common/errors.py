@@ -1,0 +1,120 @@
+"""Exception hierarchy shared by every PODS subsystem.
+
+Each layer of the pipeline (language, graph, translation, partitioning,
+runtime, simulation) raises its own subclass of :class:`PodsError` so callers
+can catch at the granularity they care about.
+"""
+
+from __future__ import annotations
+
+
+class PodsError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SourceLocation:
+    """A position in an IdLite source file (1-based line/column)."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and other.line == self.line
+            and other.column == self.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class LanguageError(PodsError):
+    """An error detected in IdLite source code."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(LanguageError):
+    """The lexer met a character sequence it cannot tokenize."""
+
+
+class ParseError(LanguageError):
+    """The parser met an unexpected token."""
+
+
+class SemanticError(LanguageError):
+    """Scope, arity, or single-assignment violation found at compile time."""
+
+
+class GraphError(PodsError):
+    """The dataflow graph is malformed (dangling arcs, bad ports, ...)."""
+
+
+class TranslationError(PodsError):
+    """The PODS Translator could not order or lower a code block."""
+
+
+class PartitionError(PodsError):
+    """The PODS Partitioner was asked to distribute an unsupported shape."""
+
+
+class RuntimeFault(PodsError):
+    """Base class for faults raised while a PODS program executes."""
+
+
+class SingleAssignmentViolation(RuntimeFault):
+    """An I-structure element was written twice (forbidden by Id semantics)."""
+
+    def __init__(self, array_id: int, offset: int) -> None:
+        self.array_id = array_id
+        self.offset = offset
+        super().__init__(
+            f"single-assignment violation: array {array_id} offset {offset} "
+            "written twice"
+        )
+
+
+class BoundsViolation(RuntimeFault):
+    """An array access fell outside the declared bounds."""
+
+    def __init__(self, array_id: int, indices: tuple[int, ...], dims: tuple[int, ...]) -> None:
+        self.array_id = array_id
+        self.indices = indices
+        self.dims = dims
+        super().__init__(
+            f"index {indices} out of bounds for array {array_id} with dims {dims}"
+        )
+
+
+class DeadlockError(RuntimeFault):
+    """The machine went idle while SPs were still blocked.
+
+    Under single assignment this means some element was read but never
+    written; the diagnostic lists the blocked readers to make the missing
+    write findable.
+    """
+
+    def __init__(self, message: str, blocked: list[str] | None = None) -> None:
+        self.blocked = blocked or []
+        detail = ""
+        if self.blocked:
+            shown = "\n  ".join(self.blocked[:20])
+            detail = f"\nblocked waiters:\n  {shown}"
+            if len(self.blocked) > 20:
+                detail += f"\n  ... and {len(self.blocked) - 20} more"
+        super().__init__(message + detail)
+
+
+class ExecutionError(RuntimeFault):
+    """An instruction failed while executing (bad opcode, type error, ...)."""

@@ -1,0 +1,8 @@
+"""Dataflow graph IR, the AST->graph builder, and structural validation."""
+
+from repro.graph import ir
+from repro.graph.builder import build_graph
+from repro.graph.render import to_dot, to_text
+from repro.graph.validate import validate_graph
+
+__all__ = ["build_graph", "ir", "to_dot", "to_text", "validate_graph"]

@@ -1,0 +1,19 @@
+"""IdLite: the declarative (Id Nouveau-flavoured) language frontend."""
+
+from repro.lang import ast_nodes
+from repro.lang.lexer import Tok, tokenize
+from repro.lang.parser import parse, parse_expression
+from repro.lang.pprint import format_expr, format_program
+from repro.lang.semantics import ProgramInfo, analyze
+
+__all__ = [
+    "ProgramInfo",
+    "Tok",
+    "analyze",
+    "ast_nodes",
+    "format_expr",
+    "format_program",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,190 @@
+"""Abstract syntax tree of IdLite.
+
+IdLite is the Id Nouveau-flavoured declarative language this reproduction
+compiles (paper Section 2): functional core, I-structure arrays with
+single assignment, ``for``/``while`` loops, and Id's ``next`` construct
+for loop-carried values.  The grammar is deliberately close to the
+paper's example::
+
+    function main(n) {
+        A = matrix(n, 10);
+        for i = 1 to n {
+            for j = 1 to 10 {
+                A[i, j] = f(i, j);
+            }
+        }
+        return A;
+    }
+
+Every node records its source location for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SourceLocation
+
+
+@dataclass
+class Node:
+    loc: SourceLocation
+
+
+# -- expressions -------------------------------------------------------
+
+
+@dataclass
+class Num(Node):
+    value: int | float
+
+
+@dataclass
+class Var(Node):
+    name: str
+
+
+@dataclass
+class BinOp(Node):
+    """Operator is the ISA function name: add/sub/mul/div/mod/pow/min/...
+    (comparisons and boolean connectives included)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class UnOp(Node):
+    op: str
+    operand: "Expr"
+
+
+@dataclass
+class Call(Node):
+    """Builtin or user function call.  ``array``/``matrix`` allocations
+    are Calls until semantic analysis classifies them."""
+
+    name: str
+    args: list["Expr"]
+
+
+@dataclass
+class Index(Node):
+    """Array element read ``A[i, j]`` (an I-structure fetch)."""
+
+    array: str
+    indices: list["Expr"]
+
+
+@dataclass
+class IfExp(Node):
+    """Conditional value ``if c then a else b``."""
+
+    cond: "Expr"
+    then: "Expr"
+    other: "Expr"
+
+
+Expr = Num | Var | BinOp | UnOp | Call | Index | IfExp
+
+
+# -- statements --------------------------------------------------------
+
+
+@dataclass
+class Bind(Node):
+    """Single-assignment scalar binding ``x = expr;``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class NextBind(Node):
+    """Id's loop-carried update ``next x = expr;``.
+
+    Attaches to the innermost enclosing loop; semantic analysis verifies
+    the variable is defined outside that loop and records it among the
+    loop's carried variables.
+    """
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class ArrayWrite(Node):
+    """I-structure element store ``A[i, j] = expr;``."""
+
+    array: str
+    indices: list[Expr]
+    value: Expr
+
+
+@dataclass
+class For(Node):
+    """``for v = init to limit { ... }`` (or ``downto``).
+
+    Semantic analysis fills ``carried`` (names updated via ``next``) and
+    the partitioner later fills ``distributed`` / ``range_filter``.
+    """
+
+    var: str
+    init: Expr
+    limit: Expr
+    descending: bool
+    body: list["Stmt"]
+    carried: list[str] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    """``while cond { ... }`` — always executes locally (never
+    distributed: its trip count is data dependent)."""
+
+    cond: Expr
+    body: list["Stmt"]
+    carried: list[str] = field(default_factory=list)
+
+
+@dataclass
+class If(Node):
+    cond: Expr
+    then_body: list["Stmt"]
+    else_body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Expr
+
+
+Stmt = Bind | NextBind | ArrayWrite | For | While | If | Return
+
+
+# -- top level ---------------------------------------------------------
+
+
+@dataclass
+class Function(Node):
+    name: str
+    params: list[str]
+    body: list[Stmt]
+
+
+@dataclass
+class Program(Node):
+    functions: dict[str, Function]
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+
+# Names the compiler treats as array allocators: array(d1, ..., dk) and
+# the 2-D alias matrix(m, n) from the paper's example program.
+ALLOC_BUILTINS = {"array", "matrix"}
+
+# Scalar builtins mapped straight onto ISA functions.
+UNARY_BUILTINS = {"sqrt", "abs", "float", "int"}
+BINARY_BUILTINS = {"min", "max"}

@@ -1,0 +1,129 @@
+"""Tokenizer for IdLite source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.common.errors import LexError, SourceLocation
+
+KEYWORDS = {
+    "function", "for", "to", "downto", "while", "if", "then", "else",
+    "next", "return", "and", "or", "not", "true", "false",
+}
+
+# Longest-match-first punctuation/operators.
+SYMBOLS = [
+    "<=", ">=", "==", "!=",
+    "(", ")", "{", "}", "[", "]",
+    ",", ";", "=", "<", ">",
+    "+", "-", "*", "/", "%", "^",
+]
+
+
+@dataclass(frozen=True)
+class Tok:
+    """A lexical token: kind is 'num', 'name', a keyword, or a symbol."""
+
+    kind: str
+    value: Any
+    loc: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Tok({self.kind!r}, {self.value!r} @{self.loc})"
+
+
+def tokenize(source: str) -> list[Tok]:
+    """Convert source text into tokens; raises LexError on bad input."""
+    tokens: list[Tok] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Comments: '#' or '//' to end of line.
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_loc = loc()
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    source[i + 1].isdigit()
+                    or (source[i + 1] in "+-" and i + 2 < n and source[i + 2].isdigit())
+                ):
+                    seen_exp = True
+                    i += 1
+                    if source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            col += i - start
+            try:
+                value: Any = float(text) if (seen_dot or seen_exp) else int(text)
+            except ValueError:
+                raise LexError(f"malformed number {text!r}", start_loc) from None
+            tokens.append(Tok("num", value, start_loc))
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_loc = loc()
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            col += i - start
+            if word == "true":
+                tokens.append(Tok("num", True, start_loc))
+            elif word == "false":
+                tokens.append(Tok("num", False, start_loc))
+            elif word in KEYWORDS:
+                tokens.append(Tok(word, word, start_loc))
+            else:
+                tokens.append(Tok("name", word, start_loc))
+            continue
+
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Tok(sym, sym, loc()))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+
+    tokens.append(Tok("eof", None, loc()))
+    return tokens
+
+
+def token_stream(source: str) -> Iterator[Tok]:
+    """Generator form of :func:`tokenize` (convenience for tests)."""
+    yield from tokenize(source)

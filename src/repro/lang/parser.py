@@ -1,0 +1,299 @@
+"""Recursive-descent parser for IdLite.
+
+Grammar (EBNF)::
+
+    program    := { function }
+    function   := "function" NAME "(" [ NAME { "," NAME } ] ")" block
+    block      := "{" { statement } "}"
+    statement  := "next" NAME "=" expr ";"
+                | "return" expr ";"
+                | "for" NAME "=" expr ("to"|"downto") expr block
+                | "while" expr block
+                | "if" expr block [ "else" (ifstmt | block) ]
+                | NAME "[" expr { "," expr } "]" "=" expr ";"
+                | NAME "=" expr ";"
+    expr       := "if" expr "then" expr "else" expr | or_expr
+    or_expr    := and_expr { "or" and_expr }
+    and_expr   := not_expr { "and" not_expr }
+    not_expr   := "not" not_expr | comparison
+    comparison := additive [ ("<"|"<="|">"|">="|"=="|"!=") additive ]
+    additive   := multiplic { ("+"|"-") multiplic }
+    multiplic  := unary { ("*"|"/"|"%") unary }
+    unary      := "-" unary | power
+    power      := atom [ "^" unary ]
+    atom       := NUM | NAME | NAME "(" args ")" | NAME "[" exprs "]"
+                | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import Tok, tokenize
+
+_CMP_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+_ADD_OPS = {"+": "add", "-": "sub"}
+_MUL_OPS = {"*": "mul", "/": "div", "%": "mod"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Tok]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- primitives ----------------------------------------------------
+
+    @property
+    def cur(self) -> Tok:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Tok:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str) -> bool:
+        return self.cur.kind == kind
+
+    def accept(self, kind: str) -> Tok | None:
+        if self.check(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, what: str = "") -> Tok:
+        if not self.check(kind):
+            hint = f" while parsing {what}" if what else ""
+            raise ParseError(
+                f"expected {kind!r}, found {self.cur.kind!r}{hint}", self.cur.loc
+            )
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        loc = self.cur.loc
+        functions: dict[str, A.Function] = {}
+        while not self.check("eof"):
+            fn = self.parse_function()
+            if fn.name in functions:
+                raise ParseError(f"duplicate function {fn.name!r}", fn.loc)
+            functions[fn.name] = fn
+        if not functions:
+            raise ParseError("empty program", loc)
+        return A.Program(loc, functions)
+
+    def parse_function(self) -> A.Function:
+        loc = self.expect("function", "a function definition").loc
+        name = self.expect("name", "function name").value
+        self.expect("(", f"parameters of {name}")
+        params: list[str] = []
+        if not self.check(")"):
+            params.append(self.expect("name", "parameter").value)
+            while self.accept(","):
+                params.append(self.expect("name", "parameter").value)
+        self.expect(")", f"parameters of {name}")
+        body = self.parse_block()
+        if len(set(params)) != len(params):
+            raise ParseError(f"duplicate parameter in {name}", loc)
+        return A.Function(loc, name, params, body)
+
+    def parse_block(self) -> list[A.Stmt]:
+        self.expect("{", "a block")
+        stmts: list[A.Stmt] = []
+        while not self.check("}"):
+            if self.check("eof"):
+                raise ParseError("unterminated block", self.cur.loc)
+            stmts.append(self.parse_statement())
+        self.expect("}")
+        return stmts
+
+    def parse_statement(self) -> A.Stmt:
+        tok = self.cur
+
+        if tok.kind == "next":
+            self.advance()
+            name = self.expect("name", "next-variable").value
+            self.expect("=", "next binding")
+            value = self.parse_expr()
+            self.expect(";", "next binding")
+            return A.NextBind(tok.loc, name, value)
+
+        if tok.kind == "return":
+            self.advance()
+            value = self.parse_expr()
+            self.expect(";", "return")
+            return A.Return(tok.loc, value)
+
+        if tok.kind == "for":
+            self.advance()
+            var = self.expect("name", "loop variable").value
+            self.expect("=", "for loop")
+            init = self.parse_expr()
+            if self.accept("to"):
+                descending = False
+            elif self.accept("downto"):
+                descending = True
+            else:
+                raise ParseError("expected 'to' or 'downto'", self.cur.loc)
+            limit = self.parse_expr()
+            body = self.parse_block()
+            return A.For(tok.loc, var, init, limit, descending, body)
+
+        if tok.kind == "while":
+            self.advance()
+            cond = self.parse_expr()
+            body = self.parse_block()
+            return A.While(tok.loc, cond, body)
+
+        if tok.kind == "if":
+            return self.parse_if_statement()
+
+        if tok.kind == "name":
+            name = self.advance().value
+            if self.accept("["):
+                indices = [self.parse_expr()]
+                while self.accept(","):
+                    indices.append(self.parse_expr())
+                self.expect("]", "array subscript")
+                self.expect("=", "array write")
+                value = self.parse_expr()
+                self.expect(";", "array write")
+                return A.ArrayWrite(tok.loc, name, indices, value)
+            self.expect("=", "binding")
+            value = self.parse_expr()
+            self.expect(";", "binding")
+            return A.Bind(tok.loc, name, value)
+
+        raise ParseError(f"unexpected token {tok.kind!r}", tok.loc)
+
+    def parse_if_statement(self) -> A.If:
+        loc = self.expect("if").loc
+        cond = self.parse_expr()
+        then_body = self.parse_block()
+        else_body: list[A.Stmt] = []
+        if self.accept("else"):
+            if self.check("if"):
+                else_body = [self.parse_if_statement()]
+            else:
+                else_body = self.parse_block()
+        return A.If(loc, cond, then_body, else_body)
+
+    # -- expressions ---------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        if self.check("if"):
+            loc = self.advance().loc
+            cond = self.parse_expr()
+            self.expect("then", "conditional expression")
+            then = self.parse_expr()
+            self.expect("else", "conditional expression")
+            other = self.parse_expr()
+            return A.IfExp(loc, cond, then, other)
+        return self.parse_or()
+
+    def parse_or(self) -> A.Expr:
+        left = self.parse_and()
+        while self.check("or"):
+            loc = self.advance().loc
+            left = A.BinOp(loc, "or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> A.Expr:
+        left = self.parse_not()
+        while self.check("and"):
+            loc = self.advance().loc
+            left = A.BinOp(loc, "and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> A.Expr:
+        if self.check("not"):
+            loc = self.advance().loc
+            return A.UnOp(loc, "not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> A.Expr:
+        left = self.parse_additive()
+        if self.cur.kind in _CMP_OPS:
+            tok = self.advance()
+            right = self.parse_additive()
+            return A.BinOp(tok.loc, _CMP_OPS[tok.kind], left, right)
+        return left
+
+    def parse_additive(self) -> A.Expr:
+        left = self.parse_multiplicative()
+        while self.cur.kind in _ADD_OPS:
+            tok = self.advance()
+            left = A.BinOp(tok.loc, _ADD_OPS[tok.kind], left,
+                           self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> A.Expr:
+        left = self.parse_unary()
+        while self.cur.kind in _MUL_OPS:
+            tok = self.advance()
+            left = A.BinOp(tok.loc, _MUL_OPS[tok.kind], left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        if self.check("-"):
+            loc = self.advance().loc
+            operand = self.parse_unary()
+            if isinstance(operand, A.Num) and not isinstance(operand.value, bool):
+                return A.Num(loc, -operand.value)
+            return A.UnOp(loc, "neg", operand)
+        return self.parse_power()
+
+    def parse_power(self) -> A.Expr:
+        base = self.parse_atom()
+        if self.check("^"):
+            loc = self.advance().loc
+            # Right-associative.
+            return A.BinOp(loc, "pow", base, self.parse_unary())
+        return base
+
+    def parse_atom(self) -> A.Expr:
+        tok = self.cur
+
+        if tok.kind == "num":
+            self.advance()
+            return A.Num(tok.loc, tok.value)
+
+        if tok.kind == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")", "parenthesized expression")
+            return inner
+
+        if tok.kind == "name":
+            name = self.advance().value
+            if self.accept("("):
+                args: list[A.Expr] = []
+                if not self.check(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")", f"arguments of {name}")
+                return A.Call(tok.loc, name, args)
+            if self.accept("["):
+                indices = [self.parse_expr()]
+                while self.accept(","):
+                    indices.append(self.parse_expr())
+                self.expect("]", "array subscript")
+                return A.Index(tok.loc, name, indices)
+            return A.Var(tok.loc, name)
+
+        raise ParseError(f"unexpected token {tok.kind!r} in expression", tok.loc)
+
+
+def parse(source: str) -> A.Program:
+    """Parse IdLite source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> A.Expr:
+    """Parse a single expression (testing convenience)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect("eof", "end of expression")
+    return expr

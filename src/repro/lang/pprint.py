@@ -1,0 +1,161 @@
+"""IdLite pretty-printer: AST -> canonical source text.
+
+Useful for tooling (formatting, golden files) and as the inverse half of
+the parse -> print -> parse round-trip property the language suite
+checks.  Output is fully parenthesized where precedence could bite, so
+re-parsing always reconstructs the same tree.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as A
+
+_BINOP_SYMBOL = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+    "pow": "^", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "eq": "==", "ne": "!=", "and": "and", "or": "or",
+}
+
+_UNOP_SYMBOL = {"neg": "-", "not": "not "}
+
+_BUILTIN_UNOPS = {"sqrt", "abs", "float", "int"}
+
+
+def format_expr(expr: A.Expr) -> str:
+    """Canonical (parenthesized) source for one expression."""
+    if isinstance(expr, A.Num):
+        value = expr.value
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, (int, float)) and value < 0:
+            return f"(-{format_expr(A.Num(expr.loc, -value))})"
+        return repr(value)
+
+    if isinstance(expr, A.Var):
+        return expr.name
+
+    if isinstance(expr, A.BinOp):
+        symbol = _BINOP_SYMBOL[expr.op]
+        return f"({format_expr(expr.left)} {symbol} {format_expr(expr.right)})"
+
+    if isinstance(expr, A.UnOp):
+        if expr.op in _BUILTIN_UNOPS:
+            return f"{expr.op}({format_expr(expr.operand)})"
+        return f"({_UNOP_SYMBOL[expr.op]}{format_expr(expr.operand)})"
+
+    if isinstance(expr, A.Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+
+    if isinstance(expr, A.Index):
+        indices = ", ".join(format_expr(i) for i in expr.indices)
+        return f"{expr.array}[{indices}]"
+
+    if isinstance(expr, A.IfExp):
+        return (f"(if {format_expr(expr.cond)} then {format_expr(expr.then)} "
+                f"else {format_expr(expr.other)})")
+
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+def _format_body(body: list[A.Stmt], indent: int) -> list[str]:
+    pad = "    " * indent
+    out: list[str] = []
+    for stmt in body:
+        if isinstance(stmt, A.Bind):
+            out.append(f"{pad}{stmt.name} = {format_expr(stmt.value)};")
+        elif isinstance(stmt, A.NextBind):
+            out.append(f"{pad}next {stmt.name} = {format_expr(stmt.value)};")
+        elif isinstance(stmt, A.ArrayWrite):
+            indices = ", ".join(format_expr(i) for i in stmt.indices)
+            out.append(f"{pad}{stmt.array}[{indices}] = "
+                       f"{format_expr(stmt.value)};")
+        elif isinstance(stmt, A.For):
+            direction = "downto" if stmt.descending else "to"
+            out.append(f"{pad}for {stmt.var} = {format_expr(stmt.init)} "
+                       f"{direction} {format_expr(stmt.limit)} {{")
+            out.extend(_format_body(stmt.body, indent + 1))
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, A.While):
+            out.append(f"{pad}while {format_expr(stmt.cond)} {{")
+            out.extend(_format_body(stmt.body, indent + 1))
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, A.If):
+            out.append(f"{pad}if {format_expr(stmt.cond)} {{")
+            out.extend(_format_body(stmt.then_body, indent + 1))
+            if stmt.else_body:
+                out.append(f"{pad}}} else {{")
+                out.extend(_format_body(stmt.else_body, indent + 1))
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, A.Return):
+            out.append(f"{pad}return {format_expr(stmt.value)};")
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+    return out
+
+
+def format_program(program: A.Program) -> str:
+    """Canonical source for a whole program."""
+    chunks: list[str] = []
+    for fn in program.functions.values():
+        params = ", ".join(fn.params)
+        lines = [f"function {fn.name}({params}) {{"]
+        lines.extend(_format_body(fn.body, 1))
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"
+
+
+def ast_fingerprint(node) -> object:
+    """Structural digest of an AST node, ignoring source locations.
+
+    Two trees with equal fingerprints are the same program.
+    """
+    if isinstance(node, A.Program):
+        return ("program", tuple(
+            (name, ast_fingerprint(fn)) for name, fn in node.functions.items()))
+    if isinstance(node, A.Function):
+        return ("function", node.name, tuple(node.params),
+                tuple(ast_fingerprint(s) for s in node.body))
+    if isinstance(node, A.Bind):
+        return ("bind", node.name, ast_fingerprint(node.value))
+    if isinstance(node, A.NextBind):
+        return ("next", node.name, ast_fingerprint(node.value))
+    if isinstance(node, A.ArrayWrite):
+        return ("write", node.array,
+                tuple(ast_fingerprint(i) for i in node.indices),
+                ast_fingerprint(node.value))
+    if isinstance(node, A.For):
+        return ("for", node.var, node.descending,
+                ast_fingerprint(node.init), ast_fingerprint(node.limit),
+                tuple(ast_fingerprint(s) for s in node.body))
+    if isinstance(node, A.While):
+        return ("while", ast_fingerprint(node.cond),
+                tuple(ast_fingerprint(s) for s in node.body))
+    if isinstance(node, A.If):
+        return ("if", ast_fingerprint(node.cond),
+                tuple(ast_fingerprint(s) for s in node.then_body),
+                tuple(ast_fingerprint(s) for s in node.else_body))
+    if isinstance(node, A.Return):
+        return ("return", ast_fingerprint(node.value))
+    if isinstance(node, A.Num):
+        return ("num", repr(node.value))
+    if isinstance(node, A.Var):
+        return ("var", node.name)
+    if isinstance(node, A.BinOp):
+        return ("binop", node.op, ast_fingerprint(node.left),
+                ast_fingerprint(node.right))
+    if isinstance(node, A.UnOp):
+        return ("unop", node.op, ast_fingerprint(node.operand))
+    if isinstance(node, A.Call):
+        return ("call", node.name,
+                tuple(ast_fingerprint(a) for a in node.args))
+    if isinstance(node, A.Index):
+        return ("index", node.array,
+                tuple(ast_fingerprint(i) for i in node.indices))
+    if isinstance(node, A.IfExp):
+        return ("ifexp", ast_fingerprint(node.cond),
+                ast_fingerprint(node.then), ast_fingerprint(node.other))
+    raise TypeError(f"unknown node {type(node).__name__}")

@@ -1,0 +1,6 @@
+"""Real-parallel backend: multiprocessing workers over shared I-structures."""
+
+from repro.parallel.executor import ParallelResult, run_parallel
+from repro.parallel.shm_arrays import ShmArray
+
+__all__ = ["ParallelResult", "ShmArray", "run_parallel"]

@@ -1,0 +1,171 @@
+"""Shared-memory I-structures for the real-parallel backend.
+
+Each distributed array lives in one POSIX shared-memory segment holding a
+flag byte and an 8-byte value per element.  The flag encodes presence and
+type (I-structure presence bits):
+
+    0 = absent, 1 = float, 2 = int, 3 = bool
+
+A write stores the value first and sets the flag last; a read spins until
+the flag is non-zero.  On x86-64 with CPython this is sound: aligned
+8-byte stores are atomic and the interpreter does not reorder the two
+statements.  Single assignment is enforced by testing the flag before
+writing — a best-effort check (two simultaneous writers could both pass
+it), exactly the kind of race single-assignment *programs* never exhibit.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+
+from repro.common.errors import ExecutionError, SingleAssignmentViolation
+
+FLAG_ABSENT = 0
+FLAG_FLOAT = 1
+FLAG_INT = 2
+FLAG_BOOL = 3
+
+_PACK = struct.Struct("<d")
+_PACK_INT = struct.Struct("<q")
+
+
+class ShmArray:
+    """One shared I-structure array (attached or created)."""
+
+    def __init__(self, name: str, dims: tuple[int, ...], create: bool,
+                 attach_timeout_s: float = 10.0) -> None:
+        self.dims = dims
+        total = 1
+        for d in dims:
+            total *= d
+        self.total = total
+        strides = [1] * len(dims)
+        for k in range(len(dims) - 2, -1, -1):
+            strides[k] = strides[k + 1] * dims[k + 1]
+        self.strides = tuple(strides)
+        size = total * 9  # 1 flag byte + 8 value bytes per element
+
+        if create:
+            # POSIX shm_open + ftruncate hands out zero-filled pages, so
+            # the flag region is already FLAG_ABSENT everywhere.  Never
+            # zero it explicitly: attachers may already be writing by the
+            # time the creator gets scheduled again, and a late memset
+            # would erase their presence bits.
+            self.shm = shared_memory.SharedMemory(name=name, create=True,
+                                                  size=size)
+        else:
+            deadline = time.monotonic() + attach_timeout_s
+            while True:
+                try:
+                    self.shm = shared_memory.SharedMemory(name=name)
+                    # The creator opens the segment before sizing it; an
+                    # attach landing in that window sees a short file.
+                    if self.shm.size >= size:
+                        break
+                    self.shm.close()
+                except (FileNotFoundError, ValueError):
+                    pass
+                if time.monotonic() > deadline:
+                    raise ExecutionError(
+                        f"shared array {name} never appeared")
+                time.sleep(0.001)
+        self.name = name
+        # Python's resource_tracker would unlink the segment when the
+        # first worker that touched it exits, yanking it from under the
+        # others (and the parent's final gather).  Ownership is explicit
+        # here — the parent unlinks in _cleanup_segments — so opt out.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(self.shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API is private-ish
+            pass
+        self._flags = self.shm.buf[:total]
+        self._vals = self.shm.buf[total:total + 8 * total]
+
+    def offset(self, indices: tuple[int, ...]) -> int:
+        if len(indices) != len(self.dims):
+            raise ExecutionError(f"rank mismatch {indices} vs {self.dims}")
+        off = 0
+        for idx, dim, stride in zip(indices, self.dims, self.strides):
+            if not 1 <= idx <= dim:
+                raise ExecutionError(f"index {indices} out of {self.dims}")
+            off += (idx - 1) * stride
+        return off
+
+    def write(self, indices: tuple[int, ...], value) -> None:
+        off = self.offset(indices)
+        if self._flags[off] != FLAG_ABSENT:
+            raise SingleAssignmentViolation(0, off)
+        base = off * 8
+        if isinstance(value, bool):
+            _PACK_INT.pack_into(self._vals, base, int(value))
+            flag = FLAG_BOOL
+        elif isinstance(value, int):
+            _PACK_INT.pack_into(self._vals, base, value)
+            flag = FLAG_INT
+        elif isinstance(value, float):
+            _PACK.pack_into(self._vals, base, value)
+            flag = FLAG_FLOAT
+        else:
+            raise ExecutionError(f"cannot store {type(value).__name__} in a "
+                                 "shared array")
+        self._flags[off] = flag  # presence bit set last
+
+    def read(self, indices: tuple[int, ...],
+             timeout_s: float = 30.0):
+        """I-structure read: spin until the element is present."""
+        off = self.offset(indices)
+        flag = self._flags[off]
+        if flag == FLAG_ABSENT:
+            deadline = time.monotonic() + timeout_s
+            pause = 1e-6
+            while True:
+                flag = self._flags[off]
+                if flag != FLAG_ABSENT:
+                    break
+                if time.monotonic() > deadline:
+                    raise ExecutionError(
+                        f"deferred read at offset {off} of {self.name} "
+                        "timed out (missing write -> deadlock)")
+                time.sleep(pause)
+                pause = min(pause * 2, 0.001)
+        base = off * 8
+        if flag == FLAG_FLOAT:
+            return _PACK.unpack_from(self._vals, base)[0]
+        value = _PACK_INT.unpack_from(self._vals, base)[0]
+        return bool(value) if flag == FLAG_BOOL else value
+
+    def snapshot(self) -> list:
+        """Host-side copy (absent -> None); call after workers finish."""
+        out = []
+        for off in range(self.total):
+            flag = self._flags[off]
+            if flag == FLAG_ABSENT:
+                out.append(None)
+            elif flag == FLAG_FLOAT:
+                out.append(_PACK.unpack_from(self._vals, off * 8)[0])
+            else:
+                v = _PACK_INT.unpack_from(self._vals, off * 8)[0]
+                out.append(bool(v) if flag == FLAG_BOOL else v)
+        return out
+
+    def to_value(self):
+        """Materialize into a host-side ArrayValue."""
+        from repro.runtime.values import ArrayValue
+
+        return ArrayValue(self.dims, self.snapshot())
+
+    def close(self) -> None:
+        # Memoryview slices must be released before closing the segment.
+        self._flags.release()
+        self._vals.release()
+        self.shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass

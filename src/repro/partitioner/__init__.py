@@ -1,0 +1,10 @@
+"""The PODS Partitioner: distributing allocate, LD operators, Range Filters."""
+
+from repro.partitioner.partitioner import (
+    Partitioner,
+    PartitionReport,
+    partition,
+    partition_none,
+)
+
+__all__ = ["PartitionReport", "Partitioner", "partition", "partition_none"]

@@ -1,0 +1,69 @@
+"""Runtime value types shared by every backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ArrayId:
+    """Opaque machine-wide identifier of an I-structure array.
+
+    Deliberately *not* an ``int`` subclass so that arithmetic on an array
+    id is a type error instead of a silent wrong answer.
+    """
+
+    id: int
+
+    def __repr__(self) -> str:
+        return f"<array {self.id}>"
+
+
+@dataclass
+class ArrayValue:
+    """A materialized (gathered) array: dims + row-major flat data.
+
+    Unwritten elements surface as ``None`` — visible evidence of a
+    program that returned before producing everything, which single
+    assignment makes detectable instead of garbage.
+    """
+
+    dims: tuple[int, ...]
+    flat: list[Any]
+
+    def __getitem__(self, indices) -> Any:
+        if isinstance(indices, int):
+            indices = (indices,)
+        if len(indices) != len(self.dims):
+            raise IndexError(f"rank mismatch: {indices} vs dims {self.dims}")
+        off = 0
+        stride = 1
+        for idx, dim in zip(reversed(indices), reversed(self.dims)):
+            if not 1 <= idx <= dim:
+                raise IndexError(f"index {indices} out of bounds {self.dims}")
+            off += (idx - 1) * stride
+            stride *= dim
+        return self.flat[off]
+
+    def to_nested(self) -> list:
+        """Nested Python lists (row-major)."""
+        def build(dims, offset, strides):
+            if not dims:
+                return self.flat[offset]
+            head, *rest = dims
+            stride = strides[0]
+            return [build(rest, offset + k * stride, strides[1:])
+                    for k in range(head)]
+
+        strides = []
+        s = 1
+        for d in reversed(self.dims):
+            strides.insert(0, s)
+            s *= d
+        return build(list(self.dims), 0, strides)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ArrayValue):
+            return self.dims == other.dims and self.flat == other.flat
+        return NotImplemented

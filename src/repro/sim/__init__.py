@@ -1,0 +1,7 @@
+"""The PODS instruction-level multiprocessor simulator."""
+
+from repro.sim.machine import Machine, RunResult, run_program
+from repro.sim.stats import PEStats, RunStats, UNITS
+
+__all__ = ["Machine", "PEStats", "RunResult", "RunStats", "UNITS",
+           "run_program"]

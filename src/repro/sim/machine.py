@@ -1,0 +1,899 @@
+"""The PODS multiprocessor simulator (paper Section 5.1, Figure 7).
+
+A discrete-event, instruction-level simulation of 1..N iPSC/2-style PEs.
+Each PE has five logical units:
+
+* **Execution Unit (EU)** — runs the current SP control-driven, using the
+  measured 80386/80387 instruction times; context-switches (1.312 us)
+  when an operand slot is absent; array accesses cost the 2.7 us offset
+  computation and are handed to the AM.
+* **Matching Unit (MU)** — 15 us hash lookup per inter-SP token; creates
+  the SP instance when the first token of a new context arrives.
+* **Memory Manager (MM)** — 0.9 us frame allocate/release.
+* **Array Manager (AM)** — I-structure reads/writes, split-phase remote
+  reads with page-grain caching, the distributing allocate broadcast.
+* **Routing Unit (RU)** — batches tokens (19.5 us each, groups of 20)
+  and forms array messages; delivery latency follows Dunigan's iPSC/2
+  model plus 2.5 us average propagation.
+
+Determinism: the event queue breaks ties by insertion sequence, so a run
+is a pure function of (program, args, config).  With ``jitter_seed`` set,
+message deliveries get deterministic pseudo-random extra delays — results
+must not change (the Church-Rosser property), only timings.
+
+The EU is simulated in *chunks*: it executes instructions inline,
+advancing a local clock, and yields whenever an earlier event is pending
+in the global queue, so cross-unit causality is exact at instruction
+granularity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Any
+
+from repro.common.config import SimConfig
+from repro.common.errors import DeadlockError, ExecutionError
+from repro.runtime.arrays import ArrayHeader
+from repro.runtime.frames import ABSENT, BLOCKED, DONE, READY, RUNNING, Frame
+from repro.runtime.istructure import ABSENT as CELL_ABSENT
+from repro.runtime.istructure import IStructureSegment
+from repro.runtime.tokens import (
+    AllocRequestMsg,
+    BroadcastTokensMsg,
+    DirectToken,
+    MatchToken,
+    PageResponseMsg,
+    ReadRequestMsg,
+    RemoteWriteMsg,
+    ReturnAddress,
+    TokenBatchMsg,
+    ValueResponseMsg,
+)
+from repro.runtime.values import ArrayId, ArrayValue
+from repro.sim import timing as T
+from repro.sim.pe import PE
+from repro.sim.stats import RunStats
+from repro.translator import isa
+
+ROOT_UID = 0
+_UNSET = object()
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    value: Any
+    stats: RunStats
+
+    @property
+    def finish_time_us(self) -> float:
+        return self.stats.finish_time_us
+
+    @property
+    def finish_time_s(self) -> float:
+        return self.stats.finish_time_us / 1e6
+
+
+class Machine:
+    """One simulated PODS multiprocessor executing one program."""
+
+    def __init__(self, program: isa.PodsProgram, config: SimConfig | None = None):
+        self.program = program
+        self.config = config or SimConfig()
+        self.mc = self.config.machine
+        self.pes = [PE(pid) for pid in range(self.mc.num_pes)]
+        self.frames: dict[int, Frame] = {}
+        self.now = 0.0
+        self.result: Any = _UNSET
+        self.late_tokens = 0
+        self.events_processed = 0
+
+        self._queue: list = []
+        self._seq = 0
+        self._next_frame_uid = ROOT_UID + 1
+        self._next_array_id = 1
+        self._code = {bid: t.code for bid, t in program.templates.items()}
+        self._inputs = {bid: t.inputs for bid, t in program.templates.items()}
+        self._is_function = {bid: t.kind == "function"
+                             for bid, t in program.templates.items()}
+        self._spawn_rr = 0
+        self.max_live_frames = 0
+        self._rng = (random.Random(self.config.jitter_seed)
+                     if self.config.jitter_seed is not None else None)
+        self.tracer = None
+        if self.config.trace:
+            from repro.sim.trace import Tracer
+
+            self.tracer = Tracer()
+
+    # ------------------------------------------------------------------
+    # event queue
+    # ------------------------------------------------------------------
+
+    def schedule(self, time: float, fn, *args) -> None:
+        self._seq += 1
+        heappush(self._queue, (time, self._seq, fn, args))
+
+    def _serve(self, pe: PE, unit_attr: str, unit: str, cost: float) -> float:
+        """Sequential-server model: occupy the unit for ``cost`` us."""
+        start = max(self.now, getattr(pe, unit_attr))
+        done = start + cost
+        setattr(pe, unit_attr, done)
+        pe.stats.busy[unit] += cost
+        return done
+
+    # ------------------------------------------------------------------
+    # running a program
+    # ------------------------------------------------------------------
+
+    def run(self, args: tuple = ()) -> RunResult:
+        if len(args) != self.program.arity:
+            raise ExecutionError(
+                f"{self.program.name} expects {self.program.arity} "
+                f"argument(s), got {len(args)}"
+            )
+        self._spawn_entry(args)
+
+        queue = self._queue
+        limit = self.config.max_events
+        while queue:
+            self.now, _, fn, fargs = heappop(queue)
+            self.events_processed += 1
+            if self.events_processed > limit:
+                raise ExecutionError(
+                    f"event limit {limit} exceeded at t={self.now:.1f} us "
+                    "(runaway program?)"
+                )
+            fn(*fargs)
+
+        if self.result is _UNSET or self.frames:
+            blocked: list[str] = []
+            for pe in self.pes:
+                blocked.extend(pe.describe_blocked())
+            what = ("program produced no result"
+                    if self.result is _UNSET
+                    else f"{len(self.frames)} SP(s) never completed")
+            raise DeadlockError(
+                f"machine went idle at t={self.now:.1f} us but {what}",
+                blocked,
+            )
+
+        stats = RunStats(
+            num_pes=self.mc.num_pes,
+            finish_time_us=self.now,
+            pe_stats=[pe.stats for pe in self.pes],
+            events_processed=self.events_processed,
+            max_live_frames=self.max_live_frames,
+        )
+        return RunResult(value=self._materialize(self.result), stats=stats)
+
+    def _spawn_entry(self, args: tuple) -> None:
+        pe0 = self.pes[0]
+        ctx = ("root",)
+        block = self.program.entry_block
+        for i, value in enumerate(args):
+            self.schedule(0.0, self._mu_enqueue, pe0,
+                          MatchToken(block, ctx, i, value))
+        raddr = ReturnAddress(0, ROOT_UID, 0)
+        self.schedule(0.0, self._mu_enqueue, pe0,
+                      MatchToken(block, ctx, len(args), raddr))
+
+    def _materialize(self, value: Any) -> Any:
+        if not isinstance(value, ArrayId):
+            return value
+        return self.read_array(value)
+
+    def read_array(self, aid: ArrayId) -> ArrayValue:
+        """Gather a distributed array into host memory (absent -> None)."""
+        header = None
+        for pe in self.pes:
+            header = pe.headers.get(aid.id)
+            if header is not None:
+                break
+        if header is None:
+            raise ExecutionError(f"unknown array {aid}")
+        flat: list[Any] = [None] * header.total_elements
+        for pe in self.pes:
+            seg = pe.segments.get(aid.id)
+            if seg is not None:
+                for off, val in seg.items():
+                    flat[off] = val
+        return ArrayValue(header.dims, flat)
+
+    # ------------------------------------------------------------------
+    # Matching Unit
+    # ------------------------------------------------------------------
+
+    def _mu_enqueue(self, pe: PE, token) -> None:
+        done = self._serve(pe, "mu_free", "MU", T.MATCH_TOKEN)
+        self.schedule(done, self._mu_deliver, pe, token)
+
+    def _mu_deliver(self, pe: PE, token) -> None:
+        pe.stats.tokens_matched += 1
+        if self.tracer is not None:
+            self.tracer.record(self.now, pe.pid, "token-match", repr(token))
+        if isinstance(token, MatchToken):
+            key = (token.block_id, token.ctx)
+            frame = pe.match_table.get(key)
+            if frame is None:
+                frame = self._create_frame(pe, token.block_id, token.ctx)
+                pe.match_table[key] = frame
+                frame.inputs_received += 1
+                slot = self._inputs[token.block_id][token.input_index]
+                frame.put(slot, token.value)
+                pe.ready.append(frame)
+                self._kick_eu(pe)
+            else:
+                frame.inputs_received += 1
+                if frame.status == DONE:
+                    # Tombstone: the SP finished before this straggler
+                    # arrived; drop it and retire the entry once complete.
+                    self.late_tokens += 1
+                    if frame.inputs_received >= frame.inputs_expected:
+                        pe.match_table.pop(key, None)
+                    return
+                slot = self._inputs[token.block_id][token.input_index]
+                self._put_slot(pe, frame, slot, token.value)
+        else:  # DirectToken
+            if token.frame_uid == ROOT_UID:
+                self.result = token.value
+                return
+            frame = self.frames.get(token.frame_uid)
+            if frame is None or frame.status == DONE:
+                self.late_tokens += 1
+                return
+            self._put_slot(pe, frame, token.slot, token.value)
+
+    def _create_frame(self, pe: PE, block_id: int, ctx: tuple) -> Frame:
+        template = self.program.templates[block_id]
+        uid = self._next_frame_uid
+        self._next_frame_uid += 1
+        frame = Frame(uid, block_id, ctx, pe.pid, template.num_slots,
+                      name=template.name,
+                      inputs_expected=len(template.inputs))
+        self.frames[uid] = frame
+        self._serve(pe, "mm_free", "MM", T.MM_FRAME_OP)
+        pe.stats.frames_created += 1
+        pe.live_frames += 1
+        if pe.live_frames > self.max_live_frames:
+            self.max_live_frames = pe.live_frames
+        if self.tracer is not None:
+            self.tracer.record(self.now, pe.pid, "frame-create",
+                               f"{frame.name} uid={uid} ctx={ctx}")
+        return frame
+
+    def _put_slot(self, pe: PE, frame: Frame, slot: int, value: Any) -> None:
+        if frame.status == DONE:
+            self.late_tokens += 1
+            return
+        woke = frame.put(slot, value)
+        if woke:
+            frame.make_ready()
+            pe.ready.append(frame)
+        if pe.suspended_on == (frame.uid, slot):
+            pe.suspended_on = None
+            self._resume_eu(pe)
+        elif woke:
+            self._kick_eu(pe)
+
+    def _deliver_waiter(self, waiter: ReturnAddress, value: Any) -> None:
+        if waiter.frame_uid == ROOT_UID:
+            self.result = value
+            return
+        frame = self.frames.get(waiter.frame_uid)
+        if frame is None:
+            self.late_tokens += 1
+            return
+        self._put_slot(self.pes[waiter.pe], frame, waiter.slot, value)
+
+    # ------------------------------------------------------------------
+    # Execution Unit
+    # ------------------------------------------------------------------
+
+    def _kick_eu(self, pe: PE) -> None:
+        if (pe.running is None and not pe.eu_scheduled and pe.ready
+                and pe.suspended_on is None):
+            pe.eu_scheduled = True
+            self.schedule(max(self.now, pe.eu_time), self._eu_step, pe)
+
+    def _resume_eu(self, pe: PE) -> None:
+        if pe.eu_scheduled:
+            return
+        if pe.running is not None or pe.ready:
+            pe.eu_scheduled = True
+            self.schedule(max(self.now, pe.eu_time), self._eu_step, pe)
+
+    def _eu_step(self, pe: PE) -> None:
+        pe.eu_scheduled = False
+        if pe.suspended_on is not None:
+            return
+        t = max(self.now, pe.eu_time)
+        queue = self._queue
+        stats = pe.stats
+        frame = pe.running
+
+        while True:
+            if frame is None:
+                if not pe.ready:
+                    pe.eu_time = t
+                    return
+                frame = pe.ready.popleft()
+                if frame.status != READY:
+                    frame = None
+                    continue
+                frame.status = RUNNING
+                pe.running = frame
+                t += T.CONTEXT_SWITCH
+                stats.busy["EU"] += T.CONTEXT_SWITCH
+                stats.context_switches += 1
+                continue
+
+            # Never simulate the EU past a pending earlier event.
+            if queue and queue[0][0] < t:
+                pe.eu_scheduled = True
+                pe.eu_time = t
+                self.schedule(t, self._eu_step, pe)
+                return
+
+            t, frame = self._execute(pe, frame, t)
+            if pe.suspended_on is not None:
+                pe.eu_time = t
+                return
+
+    def _execute(self, pe: PE, frame: Frame, t: float):
+        """Run one instruction at time ``t``.
+
+        Returns (new_time, frame_or_None); None means the EU must pick
+        another SP (the frame blocked or terminated).
+        """
+        instr = self._code[frame.block_id][frame.pc]
+        op = instr.op
+        slots = frame._slots
+        stats = pe.stats
+
+        # -- operand presence (block BEFORE any side effect) -----------
+        vals = []
+        for operand in (instr.a, instr.b, instr.extra):
+            if operand is None:
+                vals.append(None)
+            elif operand[0] == "s":
+                v = slots[operand[1]]
+                if v is ABSENT:
+                    return self._block_on(pe, frame, operand[1], t)
+                vals.append(v)
+            else:
+                vals.append(operand[1])
+        argvals = []
+        for operand in instr.args:
+            if operand[0] == "s":
+                v = slots[operand[1]]
+                if v is ABSENT:
+                    return self._block_on(pe, frame, operand[1], t)
+                argvals.append(v)
+            else:
+                argvals.append(operand[1])
+        av, bv, ev = vals
+
+        stats.instructions += 1
+        busy = stats.busy
+
+        # -- dispatch ---------------------------------------------------
+        if op == isa.BIN:
+            cost = T.binop_cost(instr.fn, av, bv)
+            try:
+                slots[instr.dst] = isa.BINARY_FUNCS[instr.fn](av, bv)
+            except TypeError as exc:
+                raise ExecutionError(
+                    f"{frame.name} pc={frame.pc}: {instr.fn} on "
+                    f"{av!r}, {bv!r}: {exc}") from None
+            frame.pc += 1
+            busy["EU"] += cost
+            return t + cost, frame
+
+        if op == isa.MOV:
+            slots[instr.dst] = av
+            frame.pc += 1
+            busy["EU"] += T.MOV
+            return t + T.MOV, frame
+
+        if op == isa.UN:
+            cost = T.unop_cost(instr.fn, av)
+            try:
+                slots[instr.dst] = isa.UNARY_FUNCS[instr.fn](av)
+            except (TypeError, ValueError) as exc:
+                raise ExecutionError(
+                    f"{frame.name} pc={frame.pc}: {instr.fn} on {av!r}: "
+                    f"{exc}") from None
+            frame.pc += 1
+            busy["EU"] += cost
+            return t + cost, frame
+
+        if op == isa.JUMP:
+            frame.pc = instr.target
+            busy["EU"] += T.INT_ADD
+            return t + T.INT_ADD, frame
+
+        if op == isa.BRF:
+            frame.pc = instr.target if not av else frame.pc + 1
+            busy["EU"] += T.INT_CMP
+            return t + T.INT_CMP, frame
+
+        if op == isa.BRT:
+            frame.pc = instr.target if av else frame.pc + 1
+            busy["EU"] += T.INT_CMP
+            return t + T.INT_CMP, frame
+
+        if op == isa.AREAD:
+            return self._eu_aread(pe, frame, instr, av, argvals, t)
+
+        if op == isa.AWRITE:
+            return self._eu_awrite(pe, frame, instr, av, bv, argvals, t)
+
+        if op == isa.ALLOC:
+            frame.clear(instr.dst)
+            waiter = ReturnAddress(pe.pid, frame.uid, instr.dst)
+            self.schedule(t + T.UNIT_SIGNAL, self._am_alloc, pe,
+                          tuple(argvals), waiter)
+            frame.pc += 1
+            busy["EU"] += T.MOV
+            return t + T.MOV, frame
+
+        if op == isa.RFRANGE:
+            return self._eu_rfrange(pe, frame, instr, av, bv, ev, argvals, t)
+
+        if op == isa.SPAWN:
+            return self._eu_spawn(pe, frame, instr, argvals, t)
+
+        if op == isa.SENDR:
+            raddr = av
+            if not isinstance(raddr, ReturnAddress):
+                raise ExecutionError(
+                    f"{frame.name} pc={frame.pc}: SENDR target is not a "
+                    f"return address: {raddr!r}")
+            self.schedule(t, self._send_token, pe, raddr.pe,
+                          DirectToken(raddr.frame_uid, raddr.slot, bv))
+            frame.pc += 1
+            busy["EU"] += T.INT_ADD
+            return t + T.INT_ADD, frame
+
+        if op == isa.END:
+            return self._eu_end(pe, frame, t)
+
+        if op == isa.NOP:
+            frame.pc += 1
+            busy["EU"] += T.INT_ADD
+            return t + T.INT_ADD, frame
+
+        raise ExecutionError(f"unknown opcode {op}")
+
+    # -- EU helpers ------------------------------------------------------
+
+    def _block_on(self, pe: PE, frame: Frame, slot: int, t: float):
+        if self.tracer is not None:
+            self.tracer.record(t, pe.pid, "block",
+                               f"{frame.name} uid={frame.uid} slot={slot}")
+        frame.block_on_slot(slot)
+        pe.running = None
+        return t, None
+
+    def _block_on_header(self, pe: PE, frame: Frame, array_id: int, t: float):
+        frame.block_on_header(array_id)
+        pe.header_waiters.setdefault(array_id, []).append(frame)
+        pe.running = None
+        return t, None
+
+    def _eu_end(self, pe: PE, frame: Frame, t: float):
+        if self.tracer is not None:
+            self.tracer.record(t, pe.pid, "frame-end",
+                               f"{frame.name} uid={frame.uid}")
+        frame.status = DONE
+        pe.running = None
+        pe.stats.frames_destroyed += 1
+        pe.live_frames -= 1
+        ctx = frame.ctx
+        if len(ctx) == 3 and ctx[2] == "b":
+            # Budget-counted child: release its parent's spawn slot.
+            parent = self.frames.get(ctx[0])
+            if parent is not None:
+                parent.outstanding_children -= 1
+                if parent.budget_blocked:
+                    parent.budget_blocked = False
+                    parent.make_ready()
+                    parent_pe = self.pes[parent.pe]
+                    parent_pe.ready.append(parent)
+                    self._kick_eu(parent_pe)
+        self._serve(pe, "mm_free", "MM", T.MM_FRAME_OP)
+        self.frames.pop(frame.uid, None)
+        if frame.inputs_received >= frame.inputs_expected:
+            pe.match_table.pop((frame.block_id, frame.ctx), None)
+        # else: keep the entry as a tombstone so straggler tokens match
+        # it and get dropped (see _mu_deliver).
+        return t, None
+
+    def _array_access_prep(self, pe: PE, frame: Frame, array_val, indices, t):
+        """Common AREAD/AWRITE front end: header lookup + offset calc.
+
+        Returns (header, offset) or None if the frame blocked (header not
+        yet installed on this PE — the allocate broadcast races with the
+        distributed spawn)."""
+        if not isinstance(array_val, ArrayId):
+            raise ExecutionError(
+                f"{frame.name} pc={frame.pc}: subscript applied to "
+                f"non-array value {array_val!r}")
+        header = pe.headers.get(array_val.id)
+        if header is None:
+            return None
+        offset = header.offset(tuple(indices))  # may raise BoundsViolation
+        return header, offset
+
+    def _eu_aread(self, pe: PE, frame: Frame, instr, av, argvals, t):
+        prep = self._array_access_prep(pe, frame, av, argvals, t)
+        if prep is None:
+            return self._block_on_header(pe, frame, av.id, t)
+        _, offset = prep
+        frame.clear(instr.dst)
+        waiter = ReturnAddress(pe.pid, frame.uid, instr.dst)
+        self.schedule(t + T.UNIT_SIGNAL, self._am_read, pe, av.id,
+                      offset, waiter)
+        frame.pc += 1
+        pe.stats.busy["EU"] += T.LOCAL_ARRAY_ACCESS
+        return t + T.LOCAL_ARRAY_ACCESS, frame
+
+    def _eu_awrite(self, pe: PE, frame: Frame, instr, av, bv, argvals, t):
+        prep = self._array_access_prep(pe, frame, av, argvals, t)
+        if prep is None:
+            return self._block_on_header(pe, frame, av.id, t)
+        _, offset = prep
+        self.schedule(t + T.UNIT_SIGNAL, self._am_write, pe, av.id,
+                      offset, bv)
+        frame.pc += 1
+        pe.stats.busy["EU"] += T.LOCAL_ARRAY_ACCESS
+        return t + T.LOCAL_ARRAY_ACCESS, frame
+
+    def _eu_rfrange(self, pe: PE, frame: Frame, instr, av, bv, ev, argvals, t):
+        if not isinstance(av, ArrayId):
+            raise ExecutionError(
+                f"{frame.name}: range filter on non-array {av!r}")
+        header = pe.headers.get(av.id)
+        if header is None:
+            return self._block_on_header(pe, frame, av.id, t)
+        first, last = header.filtered_range(
+            pe.pid, bv, ev, descending=instr.descending,
+            fixed=tuple(argvals), dim=instr.dim,
+        )
+        if self.tracer is not None:
+            span = (f"{first}..{last}" if (last - first) * (1, -1)[
+                instr.descending] >= 0 else "empty")
+            self.tracer.record(t, pe.pid, "rf-range",
+                               f"{frame.name} dim={instr.dim} "
+                               f"fixed={list(argvals)} -> {span}")
+        frame._slots[instr.dst] = first
+        frame._slots[instr.dst2] = last
+        frame.pc += 1
+        cost = 2 * T.INT_CMP + 2 * T.INT_ADD + T.INT_MUL
+        pe.stats.busy["EU"] += cost
+        return t + cost, frame
+
+    def _eu_spawn(self, pe: PE, frame: Frame, instr, argvals, t):
+        budget = self.mc.spawn_budget
+        counted = budget is not None and not instr.distributed
+        if counted and frame.outstanding_children >= budget:
+            # k-bounded run-ahead: stall until one child retires.  No
+            # side effects have happened yet, so the instruction simply
+            # re-executes on wake (_eu_end of a child).
+            frame.status = BLOCKED
+            frame.waiting_slot = None
+            frame.waiting_header = None
+            frame.budget_blocked = True
+            pe.running = None
+            return t, None
+        if counted:
+            frame.outstanding_children += 1
+            ctx = (frame.uid, frame.next_spawn_seq(), "b")
+        else:
+            ctx = (frame.uid, frame.next_spawn_seq())
+        block = instr.block
+        for rslot in instr.result_slots:
+            frame.clear(rslot)
+        payload = list(argvals)
+        for k, rslot in enumerate(instr.result_slots):
+            payload.append(ReturnAddress(pe.pid, frame.uid, rslot))
+
+        tokens = tuple(MatchToken(block, ctx, i, value)
+                       for i, value in enumerate(payload))
+        if instr.distributed and self.mc.num_pes > 1:
+            # LD operator: replicate over all PEs via the binomial
+            # spanning-tree broadcast (see BroadcastTokensMsg).
+            self.schedule(t, self._bcast_tokens, pe, pe.pid, tokens)
+        else:
+            dst = pe.pid
+            if (self.mc.function_placement == "round_robin"
+                    and self.mc.num_pes > 1
+                    and self._is_function.get(block, False)):
+                # Functional parallelism: spread call-tree SPs over PEs.
+                dst = self._spawn_rr % self.mc.num_pes
+                self._spawn_rr += 1
+            for token in tokens:
+                self.schedule(t, self._send_token, pe, dst, token)
+        cost = T.INT_ADD * max(1, len(payload))
+        frame.pc += 1
+        pe.stats.busy["EU"] += cost
+        return t + cost, frame
+
+    # ------------------------------------------------------------------
+    # Routing Unit + network
+    # ------------------------------------------------------------------
+
+    def _send_token(self, pe: PE, dst_pid: int, token) -> None:
+        if dst_pid == pe.pid:
+            pe.stats.tokens_sent_local += 1
+            self._mu_enqueue(pe, token)
+            return
+        pe.stats.tokens_sent_remote += 1
+        done = self._serve(pe, "ru_free", "RU", T.TOKEN_BATCH_COST)
+        batch = pe.batches.setdefault(dst_pid, [])
+        batch.append(token)
+        if len(batch) >= self.mc.token_batch:
+            self.schedule(done, self._flush_batch, pe, dst_pid)
+        elif dst_pid not in pe.flush_scheduled:
+            pe.flush_scheduled.add(dst_pid)
+            self.schedule(done + T.FLUSH_DELAY, self._flush_timer, pe, dst_pid)
+
+    def _flush_timer(self, pe: PE, dst_pid: int) -> None:
+        pe.flush_scheduled.discard(dst_pid)
+        self._flush_batch(pe, dst_pid)
+
+    def _flush_batch(self, pe: PE, dst_pid: int) -> None:
+        batch = pe.batches.get(dst_pid)
+        if not batch:
+            return
+        pe.batches[dst_pid] = []
+        msg = TokenBatchMsg(pe.pid, dst_pid, tuple(batch))
+        self._transmit(pe, msg)
+
+    def _bcast_children(self, pid: int, root: int) -> list[int]:
+        """Children of ``pid`` in the binomial tree rooted at ``root``."""
+        num = self.mc.num_pes
+        rel = (pid - root) % num
+        children = []
+        bit = 1
+        while bit < num:
+            if rel < bit:
+                child = rel + bit
+                if child < num:
+                    children.append((child + root) % num)
+            bit <<= 1
+        return children
+
+    def _bcast_tokens(self, pe: PE, root: int, tokens: tuple) -> None:
+        """Deliver a distributed-spawn token set locally and forward it
+        down the spanning tree."""
+        for token in tokens:
+            pe.stats.tokens_sent_local += 1
+            self._mu_enqueue(pe, token)
+        for child in self._bcast_children(pe.pid, root):
+            pe.stats.tokens_sent_remote += len(tokens)
+            done = self._serve(pe, "ru_free", "RU",
+                               T.TOKEN_BATCH_COST * len(tokens))
+            msg = BroadcastTokensMsg(pe.pid, child, root, tokens)
+            self.schedule(done, self._transmit, pe, msg)
+
+    def _send_msg(self, pe: PE, msg) -> None:
+        done = self._serve(pe, "ru_free", "RU", T.RU_MSG_COST)
+        self.schedule(done, self._transmit, pe, msg)
+
+    def _transmit(self, pe: PE, msg) -> None:
+        latency = T.message_latency(msg.wire_bytes,
+                                    propagation_us=self.mc.avg_hops * 1.0)
+        if self._rng is not None:
+            latency += self._rng.uniform(0.0, self.config.jitter_max_us)
+        pe.stats.messages_sent += 1
+        pe.stats.bytes_sent += msg.wire_bytes
+        if self.tracer is not None:
+            self.tracer.record(self.now, pe.pid, "message",
+                               f"{type(msg).__name__} -> PE{msg.dst_pe} "
+                               f"({msg.wire_bytes}B, +{latency:.0f}us)")
+        self.schedule(self.now + latency, self._deliver_msg, msg)
+
+    def _deliver_msg(self, msg) -> None:
+        pe = self.pes[msg.dst_pe]
+        if isinstance(msg, TokenBatchMsg):
+            for token in msg.tokens:
+                self._mu_enqueue(pe, token)
+        elif isinstance(msg, BroadcastTokensMsg):
+            self._bcast_tokens(pe, msg.root, msg.tokens)
+        elif isinstance(msg, ReadRequestMsg):
+            self._am_remote_read_request(pe, msg)
+        elif isinstance(msg, PageResponseMsg):
+            self._am_page_response(pe, msg)
+        elif isinstance(msg, ValueResponseMsg):
+            self._am_value_response(pe, msg)
+        elif isinstance(msg, RemoteWriteMsg):
+            self._am_write(pe, msg.array_id, msg.offset, msg.value,
+                           forwarded=True)
+        elif isinstance(msg, AllocRequestMsg):
+            self._am_install_remote(pe, msg)
+        else:
+            raise ExecutionError(f"unknown message {type(msg).__name__}")
+
+    # ------------------------------------------------------------------
+    # Array Manager
+    # ------------------------------------------------------------------
+
+    def _am_alloc(self, pe: PE, dims: tuple, waiter: ReturnAddress) -> None:
+        aid = self._next_array_id
+        self._next_array_id += 1
+        for d in dims:
+            if not isinstance(d, int) or d < 1:
+                raise ExecutionError(f"bad array dimension {d!r}")
+        done = self._serve(pe, "am_free", "AM", T.am_allocate())
+        self.schedule(done, self._install_header, pe, aid, dims)
+        self.schedule(done, self._deliver_waiter, waiter, ArrayId(aid))
+        for other in self.pes:
+            if other.pid != pe.pid:
+                msg = AllocRequestMsg(pe.pid, other.pid, aid, dims)
+                self.schedule(done, self._send_msg, pe, msg)
+
+    def _am_install_remote(self, pe: PE, msg: AllocRequestMsg) -> None:
+        done = self._serve(pe, "am_free", "AM", T.am_allocate())
+        self.schedule(done, self._install_header, pe, msg.array_id, msg.dims)
+
+    def _install_header(self, pe: PE, aid: int, dims: tuple) -> None:
+        if aid in pe.headers:
+            return
+        header = ArrayHeader(aid, tuple(dims), self.mc.page_size,
+                             self.mc.num_pes)
+        pe.headers[aid] = header
+        lo, hi = header.segment_bounds(pe.pid)
+        pe.segments[aid] = IStructureSegment(aid, lo, hi)
+        waiters = pe.header_waiters.pop(aid, None)
+        if waiters:
+            for frame in waiters:
+                if frame.status == BLOCKED and frame.waiting_header == aid:
+                    frame.make_ready()
+                    pe.ready.append(frame)
+            self._kick_eu(pe)
+
+    def _am_read(self, pe: PE, aid: int, offset: int,
+                 waiter: ReturnAddress) -> None:
+        header = pe.headers[aid]
+        if header.is_local(offset, pe.pid):
+            pe.stats.array_reads_local += 1
+            seg = pe.segments[aid]
+            present, value = seg.read(offset)
+            if present:
+                done = self._serve(pe, "am_free", "AM",
+                                   T.MEM_READ + T.UNIT_SIGNAL)
+                self.schedule(done, self._deliver_waiter, waiter, value)
+            else:
+                self._serve(pe, "am_free", "AM",
+                            T.MEM_READ + T.ENQUEUED_READ)
+                seg.defer(offset, waiter)
+                pe.stats.deferred_local += 1
+            return
+
+        pe.stats.array_reads_remote += 1
+        if self.mc.cache_enabled:
+            page = header.page_of(offset)
+            hit, value = pe.cache.lookup(aid, page, offset)
+            if hit:
+                pe.stats.cache_hits += 1
+                done = self._serve(pe, "am_free", "AM", T.am_cached_read(True))
+                self.schedule(done, self._deliver_waiter, waiter, value)
+                return
+            pe.stats.cache_misses += 1
+        done = self._serve(pe, "am_free", "AM", T.am_cached_read(False))
+        owner = header.owner_of_offset(offset)
+        if self.tracer is not None:
+            self.tracer.record(self.now, pe.pid, "remote-read",
+                               f"array {aid} off {offset} -> PE{owner}")
+        msg = ReadRequestMsg(pe.pid, owner, aid, offset, waiter)
+        self.schedule(done, self._send_msg, pe, msg)
+        if not self.mc.split_phase_reads:
+            # Ablation / P&R-style behaviour: the PE stalls on this very
+            # read (no latency hiding).  The stall is bounded by one full
+            # round trip so that reads of not-yet-written elements — true
+            # dataflow dependencies — cannot deadlock the whole PE: after
+            # the bound the EU yields to other SPs.
+            key = (waiter.frame_uid, waiter.slot)
+            pe.suspended_on = key
+            bound = 2.0 * T.message_latency(32) + T.message_latency(
+                self.mc.page_size * self.mc.element_bytes + 32)
+            self.schedule(self.now + bound, self._suspend_timeout, pe, key)
+
+    def _suspend_timeout(self, pe: PE, key: tuple) -> None:
+        if pe.suspended_on == key:
+            pe.suspended_on = None
+            self._resume_eu(pe)
+
+    def _am_remote_read_request(self, pe: PE, msg: ReadRequestMsg) -> None:
+        seg = pe.segments.get(msg.array_id)
+        if seg is None:
+            # The allocate broadcast has not reached this PE yet: retry
+            # after it lands (headers install in bounded time).
+            self.schedule(self.now + T.ALLOC_ARRAY, self._am_remote_read_request,
+                          pe, msg)
+            return
+        present, _ = seg.read(msg.offset)
+        if present:
+            header = pe.headers[msg.array_id]
+            page = header.page_of(msg.offset)
+            page_lo = max(page * header.page_size, seg.lo)
+            page_hi = min((page + 1) * header.page_size, seg.hi)
+            cells = seg.snapshot_page(page_lo, page_hi)
+            done = self._serve(pe, "am_free", "AM", T.am_send_page(len(cells)))
+            pe.stats.pages_sent += 1
+            reply = PageResponseMsg(
+                pe.pid, msg.src_pe, msg.array_id, page, page_lo,
+                tuple(cells), msg.offset, msg.waiter,
+                element_bytes=self.mc.element_bytes,
+            )
+            self.schedule(done, self._send_msg, pe, reply)
+        else:
+            self._serve(pe, "am_free", "AM", T.am_remote_read(True))
+            seg.defer(msg.offset, msg.waiter)
+            pe.stats.deferred_remote += 1
+
+    def _am_page_response(self, pe: PE, msg: PageResponseMsg) -> None:
+        done = self._serve(pe, "am_free", "AM",
+                           T.am_receive_page(len(msg.cells)))
+        if self.mc.cache_enabled:
+            pe.cache.install(msg.array_id, msg.page, msg.page_lo,
+                             list(msg.cells))
+        value = msg.cells[msg.offset - msg.page_lo]
+        if value is CELL_ABSENT:
+            raise ExecutionError(
+                "page response does not contain the requested element "
+                f"(array {msg.array_id} offset {msg.offset})")
+        self.schedule(done, self._deliver_waiter, msg.waiter, value)
+
+    def _am_value_response(self, pe: PE, msg: ValueResponseMsg) -> None:
+        done = self._serve(pe, "am_free", "AM", T.MEM_WRITE)
+        if self.mc.cache_enabled:
+            header = pe.headers.get(msg.array_id)
+            if header is not None:
+                page = header.page_of(msg.offset)
+                pe.cache.install_element(
+                    msg.array_id, page, page * header.page_size,
+                    header.page_size, msg.offset, msg.value,
+                )
+        self.schedule(done, self._deliver_waiter, msg.waiter, msg.value)
+
+    def _am_write(self, pe: PE, aid: int, offset: int, value: Any,
+                  forwarded: bool = False) -> None:
+        header = pe.headers.get(aid)
+        if header is None:
+            self.schedule(self.now + T.ALLOC_ARRAY, self._am_write, pe, aid,
+                          offset, value, forwarded)
+            return
+        if header.is_local(offset, pe.pid):
+            pe.stats.array_writes_local += 1
+            seg = pe.segments[aid]
+            woken = seg.write(offset, value)  # may raise single-assignment
+            done = self._serve(pe, "am_free", "AM",
+                               T.am_array_write(len(woken)))
+            for waiter in woken:
+                if waiter.pe == pe.pid:
+                    self.schedule(done, self._deliver_waiter, waiter, value)
+                else:
+                    reply = ValueResponseMsg(pe.pid, waiter.pe, aid, offset,
+                                             value, waiter)
+                    self.schedule(done, self._send_msg, pe, reply)
+            return
+        # Index-space responsibility differs from data ownership: forward
+        # the write to the owner (the remote writes of Section 4.2.3).
+        pe.stats.array_writes_remote += 1
+        done = self._serve(pe, "am_free", "AM", T.MEM_WRITE + T.UNIT_SIGNAL)
+        owner = header.owner_of_offset(offset)
+        msg = RemoteWriteMsg(pe.pid, owner, aid, offset, value)
+        self.schedule(done, self._send_msg, pe, msg)
+
+
+def run_program(program: isa.PodsProgram, args: tuple = (),
+                config: SimConfig | None = None) -> RunResult:
+    """Convenience: build a machine and run ``program`` once."""
+    return Machine(program, config).run(args)

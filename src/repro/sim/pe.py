@@ -1,0 +1,77 @@
+"""Per-PE state for the PODS simulator (the logical units of Figure 7)."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.runtime.arrays import ArrayHeader
+from repro.runtime.frames import Frame
+from repro.runtime.istructure import IStructureSegment, PageCache
+from repro.sim.stats import PEStats
+
+
+@dataclass
+class PE:
+    """One processing element: EU + MU + MM + AM + RU state.
+
+    The serial units (MU, MM, AM, RU) are modeled as servers via their
+    ``*_free`` next-available times; the EU's timeline is driven by the
+    chunked execution loop in :mod:`repro.sim.machine`.
+    """
+
+    pid: int
+
+    # Execution Unit
+    ready: deque = field(default_factory=deque)
+    running: Frame | None = None
+    eu_time: float = 0.0           # when the EU last finished work
+    eu_scheduled: bool = False     # an _eu_step event is pending
+    suspended_on: tuple | None = None  # (frame_uid, slot) in blocking-read mode
+
+    # serial units (server model: next time the unit is free)
+    mu_free: float = 0.0
+    mm_free: float = 0.0
+    am_free: float = 0.0
+    ru_free: float = 0.0
+
+    # Matching Unit state
+    match_table: dict = field(default_factory=dict)  # (block, ctx) -> Frame
+    live_frames: int = 0
+
+    # Array Manager state
+    headers: dict[int, ArrayHeader] = field(default_factory=dict)
+    segments: dict[int, IStructureSegment] = field(default_factory=dict)
+    cache: PageCache = field(default_factory=PageCache)
+    header_waiters: dict[int, list] = field(default_factory=dict)
+
+    # Routing Unit state: per-destination partial token batches
+    batches: dict[int, list] = field(default_factory=dict)
+    flush_scheduled: set = field(default_factory=set)
+
+    stats: PEStats = field(default_factory=PEStats)
+
+    def describe_blocked(self) -> list[str]:
+        """Diagnostics for deadlock reports."""
+        from repro.runtime.frames import DONE
+
+        out = []
+        for frame in list(self.match_table.values()):
+            if frame.status != DONE:
+                out.append(frame.describe())
+        for aid, seg in self.segments.items():
+            pending = seg.pending_offsets()
+            if pending:
+                header = self.headers.get(aid)
+                if header is not None:
+                    where = ", ".join(
+                        str(header.indices_of(off)) for off in pending[:8])
+                else:
+                    where = str(pending[:8])
+                out.append(
+                    f"PE {self.pid}: array {aid} has deferred reads at "
+                    f"elements {where}"
+                    + (f" (+{len(pending) - 8} more)"
+                       if len(pending) > 8 else "")
+                )
+        return out

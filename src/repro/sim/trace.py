@@ -1,0 +1,94 @@
+"""Event tracing for the PODS simulator.
+
+With ``SimConfig(trace=True)`` the machine records a timeline of
+scheduling-relevant events (SP life cycle, token matching, array
+traffic, messages).  Useful for debugging programs ("why is this SP
+blocked?") and for teaching — the trace of the paper's Figure 2 example
+shows the LD replication and Range-Filter exits PE by PE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time_us: float
+    pe: int
+    kind: str
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.time_us:12.1f}us  PE{self.pe:<3d} {self.kind:<14s} {self.detail}"
+
+
+@dataclass
+class Tracer:
+    """Bounded in-memory event recorder."""
+
+    limit: int = 200_000
+    events: list[TraceEvent] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, time_us: float, pe: int, kind: str, detail: str) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time_us, pe, kind, detail))
+
+    # -- queries ----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def on_pe(self, pe: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.pe == pe]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def format(self, limit: int | None = None) -> str:
+        rows = self.events if limit is None else self.events[:limit]
+        lines = [e.format() for e in rows]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (limit)")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        counts = self.counts()
+        rows = [f"  {kind:<14s} {count}" for kind, count in
+                sorted(counts.items(), key=lambda kv: -kv[1])]
+        return "trace summary:\n" + "\n".join(rows)
+
+
+def timeline(tracer: Tracer, num_pes: int, finish_us: float,
+             buckets: int = 64) -> str:
+    """ASCII activity timeline: one row per PE, one column per time
+    bucket, darkness by event density.  A quick visual answer to "which
+    PEs were doing anything, when?"."""
+    if finish_us <= 0 or not tracer.events:
+        return "(no events)"
+    shades = " .:-=+*#%@"
+    counts = [[0] * buckets for _ in range(num_pes)]
+    for event in tracer.events:
+        if not 0 <= event.pe < num_pes:
+            continue
+        bucket = min(int(event.time_us / finish_us * buckets), buckets - 1)
+        counts[event.pe][bucket] += 1
+    peak = max((c for row in counts for c in row), default=1) or 1
+    lines = []
+    for pe in range(num_pes):
+        row = "".join(
+            shades[min(int(c / peak * (len(shades) - 1) + (0.999 if c else 0)),
+                       len(shades) - 1)]
+            for c in counts[pe]
+        )
+        lines.append(f"PE{pe:<3d}|{row}|")
+    lines.append(f"     0{'us':<{buckets - 8}}{finish_us:.0f}us")
+    return "\n".join(lines)

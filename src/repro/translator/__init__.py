@@ -1,0 +1,7 @@
+"""The PODS Translator: dataflow code blocks -> Subcompact Processes."""
+
+from repro.translator import isa
+from repro.translator.serialize import load_program, save_program
+from repro.translator.translate import translate
+
+__all__ = ["isa", "load_program", "save_program", "translate"]

@@ -1,0 +1,142 @@
+"""Serialization of translated programs — the ``.pods`` files of the
+paper's Figure 3 pipeline.
+
+``save_program``/``load_program`` round-trip a fully translated (and
+partitioned) :class:`~repro.translator.isa.PodsProgram` through JSON, so
+a program can be compiled once (``pods compile``) and executed many
+times without the frontend.  Only ISA-level structures are serialized;
+the dataflow graph is a compile-time artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import TranslationError
+from repro.translator import isa
+
+FORMAT = "pods-program"
+VERSION = 1
+
+_OPERAND_KINDS = {"s", "k"}
+
+
+def _operand_out(op) -> Any:
+    if op is None:
+        return None
+    kind, value = op
+    if kind not in _OPERAND_KINDS:
+        raise TranslationError(f"unknown operand kind {kind!r}")
+    return [kind, value]
+
+
+def _operand_in(data) -> Any:
+    if data is None:
+        return None
+    kind, value = data
+    if kind not in _OPERAND_KINDS:
+        raise TranslationError(f"bad operand kind {kind!r} in .pods file")
+    return (kind, value)
+
+
+def _instr_out(instr: isa.Instr) -> dict:
+    return {
+        "op": instr.op,
+        "dst": instr.dst,
+        "dst2": instr.dst2,
+        "fn": instr.fn,
+        "a": _operand_out(instr.a),
+        "b": _operand_out(instr.b),
+        "extra": _operand_out(instr.extra),
+        "args": [_operand_out(o) for o in instr.args],
+        "target": instr.target,
+        "block": instr.block,
+        "dim": instr.dim,
+        "distributed": instr.distributed,
+        "descending": instr.descending,
+        "result_slots": list(instr.result_slots),
+        "comment": instr.comment,
+    }
+
+
+def _instr_in(data: dict) -> isa.Instr:
+    return isa.Instr(
+        op=data["op"],
+        dst=data["dst"],
+        dst2=data["dst2"],
+        fn=data["fn"],
+        a=_operand_in(data["a"]),
+        b=_operand_in(data["b"]),
+        extra=_operand_in(data["extra"]),
+        args=tuple(_operand_in(o) for o in data["args"]),
+        target=data["target"],
+        block=data["block"],
+        dim=data["dim"],
+        distributed=data["distributed"],
+        descending=data["descending"],
+        result_slots=tuple(data["result_slots"]),
+        comment=data.get("comment", ""),
+    )
+
+
+def program_to_dict(program: isa.PodsProgram) -> dict:
+    """JSON-ready representation of a translated program."""
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": program.name,
+        "entry_block": program.entry_block,
+        "arity": program.arity,
+        "templates": {
+            str(bid): {
+                "block_id": t.block_id,
+                "name": t.name,
+                "kind": t.kind,
+                "num_slots": t.num_slots,
+                "inputs": list(t.inputs),
+                "source": t.source,
+                "code": [_instr_out(i) for i in t.code],
+            }
+            for bid, t in program.templates.items()
+        },
+    }
+
+
+def program_from_dict(data: dict) -> isa.PodsProgram:
+    """Inverse of :func:`program_to_dict` (validates format/version)."""
+    if data.get("format") != FORMAT:
+        raise TranslationError("not a .pods program file")
+    if data.get("version") != VERSION:
+        raise TranslationError(
+            f"unsupported .pods version {data.get('version')!r}")
+    templates = {}
+    for key, tdata in data["templates"].items():
+        template = isa.SPTemplate(
+            block_id=tdata["block_id"],
+            name=tdata["name"],
+            kind=tdata["kind"],
+            code=[_instr_in(i) for i in tdata["code"]],
+            num_slots=tdata["num_slots"],
+            inputs=tuple(tdata["inputs"]),
+            source=tdata.get("source", ""),
+        )
+        templates[int(key)] = template
+    return isa.PodsProgram(
+        templates=templates,
+        entry_block=data["entry_block"],
+        arity=data["arity"],
+        name=data.get("name", "program"),
+    )
+
+
+def save_program(program: isa.PodsProgram, path: str) -> None:
+    """Write a ``.pods`` file."""
+    with open(path, "w") as fh:
+        json.dump(program_to_dict(program), fh, indent=1)
+
+
+def load_program(path: str) -> isa.PodsProgram:
+    """Read a ``.pods`` file."""
+    with open(path) as fh:
+        return program_from_dict(json.load(fh))

@@ -1,0 +1,197 @@
+"""Tests for loop-carried-dependency detection."""
+
+from repro.analysis.lcd import annotate_lcds
+from repro.graph import build_graph, ir
+from repro.lang.parser import parse
+
+
+def loops_of(src):
+    g = build_graph(parse(src))
+    annotate_lcds(g)
+    return {b.name.split(".")[-1]: b for b in g.loop_blocks()}, g
+
+
+class TestScalarLcd:
+    def test_reduction_is_lcd(self):
+        loops, _ = loops_of("""
+        function main(n) {
+            s = 0;
+            for i = 1 to n { next s = s + i; }
+            return s;
+        }
+        """)
+        assert loops["for_i"].has_lcd
+
+    def test_while_is_always_lcd(self):
+        loops, _ = loops_of("""
+        function main(n) {
+            s = 1;
+            while s < n { next s = s * 2; }
+            return s;
+        }
+        """)
+        assert loops["while"].has_lcd
+
+
+class TestArrayFlowDependence:
+    def test_independent_elementwise_loop_has_no_lcd(self):
+        loops, _ = loops_of("""
+        function main(n) {
+            A = matrix(n, n);
+            for i = 1 to n {
+                for j = 1 to n { A[i, j] = i + j; }
+            }
+            return A;
+        }
+        """)
+        assert not loops["for_i"].has_lcd
+        assert not loops["for_j"].has_lcd
+
+    def test_sweep_is_lcd_at_swept_level_only(self):
+        # The paper's conduction pattern: B[i,j] = f(B[i-1,j]).
+        loops, _ = loops_of("""
+        function main(n) {
+            B = matrix(n, n);
+            for j = 1 to n { B[1, j] = 1.0; }
+            for i = 2 to n {
+                for j = 1 to n { B[i, j] = B[i - 1, j] * 0.5; }
+            }
+            return B;
+        }
+        """)
+        sweeps = [b for name, b in loops.items() if name == "for_i"]
+        assert len(sweeps) == 1 and sweeps[0].has_lcd
+        inner = [b for b in loops.values()
+                 if b.name.endswith("for_i.for_j")]
+        assert len(inner) == 1 and not inner[0].has_lcd
+
+    def test_descending_sweep_is_lcd(self):
+        loops, _ = loops_of("""
+        function main(n) {
+            B = array(n);
+            B[n] = 1.0;
+            for i = n - 1 downto 1 { B[i] = B[i + 1] * 0.5; }
+            return B;
+        }
+        """)
+        assert loops["for_i"].has_lcd
+
+    def test_column_sweep_lcd_at_j(self):
+        loops, _ = loops_of("""
+        function main(n) {
+            B = matrix(n, n);
+            for i = 1 to n { B[i, 1] = 1.0; }
+            for i = 1 to n {
+                for j = 2 to n { B[i, j] = B[i, j - 1] + 1.0; }
+            }
+            return B;
+        }
+        """)
+        # Row-independent at i (writes/reads aligned on position 0)...
+        outer = [b for b in loops.values()
+                 if b.name.count("for") == 1 and b.has_lcd is False]
+        assert outer, "some i-loop must be LCD-free"
+        # ... but carried along j.
+        inner = next(b for b in loops.values() if b.name.endswith(".for_j"))
+        assert inner.has_lcd
+
+    def test_read_of_other_array_no_lcd(self):
+        loops, _ = loops_of("""
+        function main(n) {
+            A = array(n);
+            B = array(n);
+            for i = 1 to n { A[i] = i; }
+            for i = 1 to n { B[i] = A[i] * 2; }
+            return B;
+        }
+        """)
+        assert all(not b.has_lcd for b in loops.values())
+
+    def test_read_of_shifted_other_array_no_lcd(self):
+        # Reading A[i-1] is fine when the loop writes only B.
+        loops, _ = loops_of("""
+        function main(n) {
+            A = array(n);
+            B = array(n);
+            for i = 1 to n { A[i] = i; }
+            for i = 2 to n { B[i] = A[i - 1]; }
+            return B;
+        }
+        """)
+        assert all(not b.has_lcd for b in loops.values())
+
+    def test_broadcast_row_read_is_lcd(self):
+        # Every iteration reads row 1 while the loop writes row i.
+        loops, _ = loops_of("""
+        function main(n) {
+            A = matrix(n, n);
+            for j = 1 to n { A[1, j] = j; }
+            for i = 2 to n {
+                for j = 1 to n { A[i, j] = A[1, j] + i; }
+            }
+            return A;
+        }
+        """)
+        sweep = next(b for b in loops.values()
+                     if b.name.endswith("for_i"))
+        assert sweep.has_lcd
+
+    def test_non_affine_subscript_is_conservatively_lcd(self):
+        loops, _ = loops_of("""
+        function main(n) {
+            A = array(n);
+            A[1] = 1;
+            for i = 2 to n { A[i] = A[(i * i) % n + 1]; }
+            return A;
+        }
+        """)
+        assert loops["for_i"].has_lcd
+
+    def test_dependence_detected_across_block_boundary(self):
+        # Write in the inner block, read of i-1 also in the inner block;
+        # the dependence is on the *outer* index imported as a parameter.
+        loops, _ = loops_of("""
+        function main(n) {
+            B = matrix(n, n);
+            for j = 1 to n { B[1, j] = 1.0; }
+            for i = 2 to n {
+                for j = 1 to n {
+                    B[i, j] = B[i - 1, j] + 1.0;
+                }
+            }
+            return B;
+        }
+        """)
+        sweep = next(b for b in loops.values()
+                     if b.name.endswith("for_i") and b.has_lcd)
+        assert sweep is not None
+
+    def test_scaled_subscript_is_lcd(self):
+        # A[2*i] vs A[i]: coefficient 2 never aligns with coefficient 1.
+        loops, _ = loops_of("""
+        function main(n) {
+            A = array(2 * n);
+            A[1] = 0;
+            for i = 1 to n { A[2 * i] = A[i] + 1; }
+            return A;
+        }
+        """)
+        assert loops["for_i"].has_lcd
+
+
+class TestAffineTracing:
+    def test_affine_through_arithmetic(self):
+        from repro.analysis.lcd import LcdAnalysis
+
+        g = build_graph(parse("""
+        function main(n) {
+            A = array(n);
+            for i = 1 to n { A[3 * i - 2] = i; }
+            return A;
+        }
+        """))
+        analysis = LcdAnalysis(g)
+        loop = g.loop_blocks()[0]
+        write = next(i for i in loop.body if isinstance(i, ir.WriteItem))
+        form = analysis.affine_of(loop, write.indices[0], loop)
+        assert form == (3, -2)

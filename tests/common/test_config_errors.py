@@ -1,0 +1,76 @@
+"""Tests for configuration validation and the error hierarchy."""
+
+import pytest
+
+from repro.common.config import MachineConfig, SimConfig
+from repro.common.errors import (
+    DeadlockError,
+    LanguageError,
+    LexError,
+    ParseError,
+    PodsError,
+    RuntimeFault,
+    SemanticError,
+    SingleAssignmentViolation,
+    SourceLocation,
+)
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper(self):
+        mc = MachineConfig()
+        assert mc.page_size == 32      # Section 4.1
+        assert mc.token_batch == 20    # Section 5.1
+        assert mc.avg_hops == 2.5
+        assert mc.cache_enabled and mc.split_phase_reads
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_pes": 0}, {"page_size": 0}, {"token_batch": 0},
+        {"function_placement": "nope"},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            MachineConfig(**kwargs)
+
+    def test_with_pes_copies(self):
+        mc = MachineConfig(page_size=16)
+        mc2 = mc.with_pes(8)
+        assert mc2.num_pes == 8 and mc2.page_size == 16
+        assert mc.num_pes == 1  # original unchanged (frozen)
+
+    def test_sim_config_with_pes(self):
+        sc = SimConfig(machine=MachineConfig(cache_enabled=False))
+        sc8 = sc.with_pes(8)
+        assert sc8.machine.num_pes == 8
+        assert not sc8.machine.cache_enabled
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(LexError, LanguageError)
+        assert issubclass(ParseError, LanguageError)
+        assert issubclass(SemanticError, LanguageError)
+        assert issubclass(LanguageError, PodsError)
+        assert issubclass(SingleAssignmentViolation, RuntimeFault)
+        assert issubclass(DeadlockError, RuntimeFault)
+        assert issubclass(RuntimeFault, PodsError)
+
+    def test_language_error_prefixes_location(self):
+        err = SemanticError("bad thing", SourceLocation(3, 7))
+        assert str(err).startswith("3:7:")
+
+    def test_source_location_equality(self):
+        assert SourceLocation(1, 2) == SourceLocation(1, 2)
+        assert SourceLocation(1, 2) != SourceLocation(2, 1)
+        assert len({SourceLocation(1, 2), SourceLocation(1, 2)}) == 1
+
+    def test_deadlock_error_lists_waiters(self):
+        err = DeadlockError("stuck", [f"frame {i}" for i in range(25)])
+        text = str(err)
+        assert "frame 0" in text
+        assert "and 5 more" in text
+
+    def test_single_assignment_fields(self):
+        err = SingleAssignmentViolation(4, 17)
+        assert err.array_id == 4 and err.offset == 17
+        assert "17" in str(err)

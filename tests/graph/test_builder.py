@@ -1,0 +1,235 @@
+"""Tests for the AST -> dataflow graph builder and the validator."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph import build_graph, ir, validate_graph
+from repro.lang.parser import parse
+
+
+def graph_of(src, entry="main"):
+    g = build_graph(parse(src), entry=entry)
+    validate_graph(g)
+    return g
+
+
+PAPER_EXAMPLE = """
+function main(n) {
+    A = matrix(50, 10);
+    for i = 1 to 50 {
+        for j = 1 to 10 { A[i, j] = i * 10 + j; }
+    }
+    return A;
+}
+"""
+
+
+class TestBlockStructure:
+    def test_one_block_per_function_and_loop_level(self):
+        g = graph_of(PAPER_EXAMPLE)
+        kinds = sorted(b.kind for b in g.blocks.values())
+        assert kinds == [ir.FOR, ir.FOR, ir.FUNCTION]
+
+    def test_loop_nesting_parents(self):
+        g = graph_of(PAPER_EXAMPLE)
+        main = g.entry_block()
+        i_loop = g.children_of(main.block_id)[0]
+        j_loops = g.children_of(i_loop.block_id)
+        assert len(j_loops) == 1
+        assert j_loops[0].parent == i_loop.block_id
+
+    def test_array_imported_into_inner_loop(self):
+        g = graph_of(PAPER_EXAMPLE)
+        main = g.entry_block()
+        i_loop = g.children_of(main.block_id)[0]
+        names = [d.name for d in i_loop.defs.values()
+                 if isinstance(d, ir.ParamDef)]
+        assert "A" in names
+
+    def test_invoke_args_match_child_params(self):
+        g = graph_of(PAPER_EXAMPLE)
+        main = g.entry_block()
+        invoke = next(i for i in main.body if isinstance(i, ir.InvokeItem))
+        child = g.blocks[invoke.block]
+        assert len(invoke.args) == child.num_params
+
+    def test_return_item_present(self):
+        g = graph_of(PAPER_EXAMPLE)
+        main = g.entry_block()
+        assert isinstance(main.body[-1], ir.ReturnItem)
+
+    def test_multiple_functions_and_calls(self):
+        g = graph_of("""
+        function f(x) { return x * 2; }
+        function main() { return f(21); }
+        """)
+        main = g.entry_block()
+        call_defs = [d for d in main.defs.values() if isinstance(d, ir.CallDef)]
+        assert len(call_defs) == 1
+        assert call_defs[0].fn == "f"
+
+    def test_descending_loop_flag(self):
+        g = graph_of("""
+        function main(n) {
+            A = array(n);
+            for i = n downto 1 { A[i] = i; }
+            return A;
+        }
+        """)
+        loop = g.loop_blocks()[0]
+        assert loop.descending
+
+
+class TestCarriedVariables:
+    SUM = """
+    function main(n) {
+        s = 0;
+        for i = 1 to n { next s = s + i; }
+        return s;
+    }
+    """
+
+    def test_carried_param_and_result(self):
+        g = graph_of(self.SUM)
+        loop = g.loop_blocks()[0]
+        assert loop.carried_names == ["s"]
+        assert len(loop.carried_params) == 1
+        main = g.entry_block()
+        invoke = next(i for i in main.body if isinstance(i, ir.InvokeItem))
+        assert len(invoke.results) == 1
+        # The return uses the loop result, not the initial binding.
+        ret = main.body[-1]
+        assert isinstance(main.defs[ret.value], ir.ResultDef)
+
+    def test_next_item_in_loop_body(self):
+        g = graph_of(self.SUM)
+        loop = g.loop_blocks()[0]
+        nexts = [i for i in loop.body if isinstance(i, ir.NextItem)]
+        assert len(nexts) == 1
+        assert nexts[0].carried_index == 0
+
+    def test_nested_reduction(self):
+        g = graph_of("""
+        function main(n) {
+            total = 0;
+            for i = 1 to n {
+                row = 0;
+                for j = 1 to n { next row = row + j; }
+                next total = total + row;
+            }
+            return total;
+        }
+        """)
+        outer = next(b for b in g.loop_blocks() if "for_i" in b.name)
+        inner = next(b for b in g.loop_blocks() if "for_j" in b.name)
+        assert outer.carried_names == ["total"]
+        assert inner.carried_names == ["row"]
+        # The outer 'next total' consumes the inner loop's result.
+        next_item = next(i for i in outer.body if isinstance(i, ir.NextItem))
+        add_def = outer.defs[next_item.value]
+        arg_defs = [outer.defs[a] for a in add_def.args]
+        assert any(isinstance(d, ir.ResultDef) for d in arg_defs)
+
+
+class TestConditionals:
+    def test_if_expression_creates_regions_and_join(self):
+        g = graph_of("function main(a, b) { return if a < b then a else b; }")
+        main = g.entry_block()
+        if_items = [i for i in main.body if isinstance(i, ir.IfItem)]
+        assert len(if_items) == 1
+        item = if_items[0]
+        assert len(item.joins) == 1
+        assert isinstance(main.defs[item.joins[0]], ir.JoinDef)
+
+    def test_branch_reads_stay_in_branch(self):
+        # The read A[n-1] must live inside the else region: evaluating it
+        # eagerly could deadlock on a never-written element.
+        g = graph_of("""
+        function main(n) {
+            A = array(n);
+            A[1] = 0;
+            x = if n == 1 then 0 else A[n - 1];
+            return x;
+        }
+        """)
+        main = g.entry_block()
+        item = next(i for i in main.body if isinstance(i, ir.IfItem))
+        top_level_reads = [
+            i for i in main.body
+            if isinstance(i, ir.ComputeItem)
+            and isinstance(main.defs[i.vid], ir.ReadDef)
+        ]
+        assert top_level_reads == []
+        else_reads = [
+            i for i in item.else_region
+            if isinstance(i, ir.ComputeItem)
+            and isinstance(main.defs[i.vid], ir.ReadDef)
+        ]
+        assert len(else_reads) == 1
+
+    def test_statement_if_with_writes(self):
+        g = graph_of("""
+        function main(n) {
+            A = array(n);
+            for i = 1 to n {
+                if i == 1 { A[i] = 0; } else { A[i] = i; }
+            }
+            return A;
+        }
+        """)
+        loop = g.loop_blocks()[0]
+        item = next(i for i in loop.body if isinstance(i, ir.IfItem))
+        assert any(isinstance(x, ir.WriteItem) for x in item.then_region)
+        assert any(isinstance(x, ir.WriteItem) for x in item.else_region)
+
+
+class TestWhile:
+    def test_while_block_with_condition_region(self):
+        g = graph_of("""
+        function main(n) {
+            s = 1;
+            while s < n { next s = s * 2; }
+            return s;
+        }
+        """)
+        loop = next(b for b in g.blocks.values() if b.kind == ir.WHILE)
+        assert loop.cond_vid is not None
+        assert loop.carried_names == ["s"]
+
+
+class TestConstantsAreInlined:
+    def test_consts_have_no_compute_items(self):
+        g = graph_of(PAPER_EXAMPLE)
+        for block in g.blocks.values():
+            for item in block.body:
+                if isinstance(item, ir.ComputeItem):
+                    assert not isinstance(block.defs[item.vid], ir.ConstDef)
+
+
+class TestValidatorCatchesCorruption:
+    def test_dangling_vid(self):
+        g = graph_of(PAPER_EXAMPLE)
+        main = g.entry_block()
+        main.body.append(ir.ReturnItem(9999))
+        with pytest.raises(GraphError):
+            validate_graph(g)
+
+    def test_use_before_def(self):
+        g = graph_of(PAPER_EXAMPLE)
+        main = g.entry_block()
+        # Move the first compute item (the alloc) to the end.
+        first = next(i for i in main.body if isinstance(i, ir.ComputeItem))
+        main.body.remove(first)
+        main.body.append(first)
+        with pytest.raises(GraphError) as exc:
+            validate_graph(g)
+        assert "before it is defined" in str(exc.value)
+
+    def test_invoke_arity_mismatch(self):
+        g = graph_of(PAPER_EXAMPLE)
+        main = g.entry_block()
+        invoke = next(i for i in main.body if isinstance(i, ir.InvokeItem))
+        invoke.args.append(invoke.args[0])
+        with pytest.raises(GraphError) as exc:
+            validate_graph(g)
+        assert "args" in str(exc.value)

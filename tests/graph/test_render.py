@@ -1,0 +1,83 @@
+"""Tests for the dataflow-graph renderers (Figure 2 analogues)."""
+
+from repro.api import compile_source
+from repro.graph.render import to_dot, to_text
+
+PAPER = """
+function main(n) {
+    A = matrix(50, 10);
+    for i = 1 to 50 {
+        for j = 1 to 10 { A[i, j] = i * 10 + j; }
+    }
+    return A;
+}
+"""
+
+
+class TestTextView:
+    def test_nested_scopes(self):
+        text = to_text(compile_source(PAPER).graph)
+        lines = text.splitlines()
+        main_line = next(l for l in lines if "function main" in l)
+        i_line = next(l for l in lines if "for main.for_i" in l)
+        j_line = next(l for l in lines if "for main.for_i.for_j" in l)
+        # Indentation mirrors nesting.
+        assert len(i_line) - len(i_line.lstrip()) > \
+            len(main_line) - len(main_line.lstrip())
+        assert len(j_line) - len(j_line.lstrip()) > \
+            len(i_line) - len(i_line.lstrip())
+
+    def test_annotations_present(self):
+        text = to_text(compile_source(PAPER).graph)
+        assert "LD+RF(dim 0)" in text
+
+    def test_lcd_annotation(self):
+        text = to_text(compile_source("""
+        function main(n) {
+            s = 0;
+            for i = 1 to n { next s = s + i; }
+            return s;
+        }
+        """).graph)
+        assert "LCD" in text
+
+    def test_ops_listed(self):
+        text = to_text(compile_source(PAPER).graph)
+        assert "allocate-D" in text
+        assert "mul" in text
+
+
+class TestDot:
+    def test_valid_structure(self):
+        dot = to_dot(compile_source(PAPER).graph)
+        assert dot.startswith("digraph dataflow {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("subgraph cluster_") == 3  # main + 2 loops
+
+    def test_ld_edge_labeled(self):
+        dot = to_dot(compile_source(PAPER).graph)
+        assert 'label="LD"' in dot
+        assert 'label="L"' in dot
+
+    def test_distributed_cluster_marked(self):
+        dot = to_dot(compile_source(PAPER).graph)
+        assert "[LD+RF]" in dot
+
+    def test_balanced_braces(self):
+        dot = to_dot(compile_source(PAPER).graph)
+        assert dot.count("{") == dot.count("}")
+
+    def test_every_edge_endpoint_declared(self):
+        dot = to_dot(compile_source(PAPER).graph)
+        declared = set()
+        for line in dot.splitlines():
+            line = line.strip()
+            if line.startswith("b") and "[label=" in line and "->" not in line:
+                declared.add(line.split(" ")[0])
+        for line in dot.splitlines():
+            line = line.strip()
+            if "->" in line and line.startswith("b"):
+                src = line.split(" ->")[0].strip()
+                dst = line.split("-> ")[1].split(" ")[0].rstrip(";")
+                assert src in declared, src
+                assert dst in declared, dst

@@ -1,0 +1,134 @@
+"""Integration matrix: every backend must agree on a battery of programs
+that jointly cover the language and distribution machinery.
+
+Backends: sequential interpreter, PODS simulator (1 and 4 PEs), static
+P&R model.  The multiprocessing backend is spot-checked on a subset
+(process startup makes a full matrix slow)."""
+
+import pytest
+
+from repro.api import compile_source
+
+# (name, source, args, expected-or-None)  — None means "trust the
+# sequential interpreter as the oracle".
+PROGRAMS = [
+    ("scalar-arith",
+     "function main(a, b) { return (a + b) * (a - b) % 7 + a / b; }",
+     (9, 4), None),
+    ("fill-and-sum", """
+     function main(n) {
+         A = matrix(n, n);
+         for i = 1 to n { for j = 1 to n { A[i, j] = i * j; } }
+         s = 0;
+         for i = 1 to n {
+             r = 0;
+             for j = 1 to n { next r = r + A[i, j]; }
+             next s = s + r;
+         }
+         return s;
+     }""", (7,), 784),
+    ("row-sweep", """
+     function main(n) {
+         B = matrix(n, n);
+         for j = 1 to n { B[1, j] = 1.0 * j; }
+         for i = 2 to n {
+             for j = 1 to n { B[i, j] = B[i - 1, j] * 0.5 + 1.0; }
+         }
+         s = 0.0;
+         for j = 1 to n { next s = s + B[n, j]; }
+         return s;
+     }""", (8,), None),
+    ("descending-chain", """
+     function main(n) {
+         A = array(n);
+         A[n] = 1.0;
+         for i = n - 1 downto 1 { A[i] = A[i + 1] * 0.9 + 0.1; }
+         return A[1];
+     }""", (12,), None),
+    ("function-calls", """
+     function sq(x) { return x * x; }
+     function hyp(a, b) { return sqrt(sq(a) + sq(b)); }
+     function main() { return hyp(3.0, 4.0); }
+     """, (), 5.0),
+    ("recursion", """
+     function ack_ish(m, n) {
+         return if m == 0 then n + 1
+                else if n == 0 then ack_ish(m - 1, 1)
+                else ack_ish(m - 1, ack_ish(m, n - 1));
+     }
+     function main() { return ack_ish(2, 3); }
+     """, (), 9),
+    ("while-and-conditionals", """
+     function main(n) {
+         s = n;
+         count = 0;
+         while s != 1 {
+             next s = if s % 2 == 0 then s / 2 else 3 * s + 1;
+             next count = count + 1;
+         }
+         return count;
+     }""", (27.0,), None),
+    ("three-dimensional", """
+     function main(n) {
+         A = array(n, n, n);
+         for i = 1 to n {
+             for j = 1 to n {
+                 for k = 1 to n { A[i, j, k] = i * 100 + j * 10 + k; }
+             }
+         }
+         return A[n, 1, n];
+     }""", (4,), 414),
+    ("boundary-guard", """
+     function main(n) {
+         A = array(n);
+         for i = 1 to n {
+             A[i] = if i == 1 then 0.0 else 1.0 * i;
+         }
+         B = array(n);
+         for i = 1 to n {
+             B[i] = if i == 1 then A[1] else A[i] + A[i - 1];
+         }
+         return B[n];
+     }""", (9,), None),
+]
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return {name: (compile_source(src), args, expected)
+            for name, src, args, expected in PROGRAMS}
+
+
+@pytest.mark.parametrize("name", [p[0] for p in PROGRAMS])
+def test_backend_agreement(name, compiled):
+    program, args, expected = compiled[name]
+    oracle = program.run_sequential(args).value
+    if expected is not None:
+        assert oracle == pytest.approx(expected)
+
+    pods1 = program.run_pods(args, num_pes=1).value
+    pods4 = program.run_pods(args, num_pes=4).value
+    static = program.run_static(args, num_pes=4).value
+    assert pods1 == pytest.approx(oracle, rel=1e-12)
+    assert pods4 == pytest.approx(oracle, rel=1e-12)
+    assert static == pytest.approx(oracle, rel=1e-12)
+
+
+@pytest.mark.parametrize("name", ["fill-and-sum", "row-sweep"])
+def test_parallel_backend_agreement(name, compiled):
+    program, args, expected = compiled[name]
+    oracle = program.run_sequential(args).value
+    par = program.run_parallel(args, workers=2).value
+    assert par == pytest.approx(oracle, rel=1e-12)
+
+
+def test_undistributed_compile_agrees(compiled):
+    # distribute=False (the partition_none ablation) must not change
+    # results, only parallelism.
+    _, args, _ = compiled["fill-and-sum"]
+    src = PROGRAMS[1][1]
+    dist = compile_source(src)
+    plain = compile_source(src, distribute=False)
+    assert (dist.run_pods(args, num_pes=4).value
+            == plain.run_pods(args, num_pes=4).value
+            == dist.run_sequential(args).value)

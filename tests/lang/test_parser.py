@@ -1,0 +1,159 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse, parse_expression
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "add"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "mul"
+
+    def test_parentheses_override(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "mul"
+        assert isinstance(e.left, A.BinOp) and e.left.op == "add"
+
+    def test_left_associativity(self):
+        e = parse_expression("10 - 4 - 3")
+        assert e.op == "sub"
+        assert isinstance(e.left, A.BinOp) and e.left.op == "sub"
+        assert isinstance(e.right, A.Num) and e.right.value == 3
+
+    def test_power_right_associative(self):
+        e = parse_expression("2 ^ 3 ^ 2")
+        assert e.op == "pow"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "pow"
+
+    def test_comparison(self):
+        e = parse_expression("a + 1 <= b * 2")
+        assert e.op == "le"
+
+    def test_boolean_precedence(self):
+        e = parse_expression("a < 1 or b < 2 and c < 3")
+        assert e.op == "or"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "and"
+
+    def test_not(self):
+        e = parse_expression("not a < b")
+        assert isinstance(e, A.UnOp) and e.op == "not"
+
+    def test_unary_minus_folds_literals(self):
+        e = parse_expression("-5")
+        assert isinstance(e, A.Num) and e.value == -5
+
+    def test_unary_minus_on_var(self):
+        e = parse_expression("-x")
+        assert isinstance(e, A.UnOp) and e.op == "neg"
+
+    def test_conditional_expression(self):
+        e = parse_expression("if a < b then a else b")
+        assert isinstance(e, A.IfExp)
+        assert isinstance(e.cond, A.BinOp)
+
+    def test_call_and_index(self):
+        e = parse_expression("f(A[i, j], g())")
+        assert isinstance(e, A.Call) and e.name == "f"
+        assert isinstance(e.args[0], A.Index)
+        assert e.args[0].indices and len(e.args[0].indices) == 2
+        assert isinstance(e.args[1], A.Call) and e.args[1].args == []
+
+    def test_nested_subscript_expressions(self):
+        e = parse_expression("A[i - 1, j + 1]")
+        assert isinstance(e, A.Index)
+        assert e.indices[0].op == "sub"
+
+
+class TestStatements:
+    def test_paper_example_shape(self):
+        src = """
+        function main(n) {
+            A = matrix(50, 10);
+            for i = 1 to 50 {
+                for j = 1 to 10 {
+                    A[i, j] = i * 10 + j;
+                }
+            }
+            return A;
+        }
+        """
+        prog = parse(src)
+        main = prog.function("main")
+        assert main.params == ["n"]
+        bind, loop, ret = main.body
+        assert isinstance(bind, A.Bind)
+        assert isinstance(bind.value, A.Call) and bind.value.name == "matrix"
+        assert isinstance(loop, A.For) and not loop.descending
+        inner = loop.body[0]
+        assert isinstance(inner, A.For)
+        write = inner.body[0]
+        assert isinstance(write, A.ArrayWrite)
+        assert isinstance(ret, A.Return)
+
+    def test_downto_loop(self):
+        prog = parse("function f() { for i = 10 downto 1 { x = i; } return 0; }")
+        loop = prog.function("f").body[0]
+        assert loop.descending
+
+    def test_while_loop(self):
+        prog = parse("""
+        function f(n) {
+            s = 0;
+            while s < n { next s = s + 1; }
+            return s;
+        }
+        """)
+        loop = prog.function("f").body[1]
+        assert isinstance(loop, A.While)
+        assert isinstance(loop.body[0], A.NextBind)
+
+    def test_if_else_chain(self):
+        prog = parse("""
+        function f(x) {
+            if x < 0 { y = -1; } else if x == 0 { y = 0; } else { y = 1; }
+            return 0;
+        }
+        """)
+        stmt = prog.function("f").body[0]
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.else_body[0], A.If)
+
+    def test_next_statement(self):
+        prog = parse("function f() { s = 0; for i = 1 to 3 { next s = s + i; } return s; }")
+        loop = prog.function("f").body[1]
+        assert isinstance(loop.body[0], A.NextBind)
+        assert loop.body[0].name == "s"
+
+    def test_multiple_functions(self):
+        prog = parse("""
+        function helper(x) { return x * 2; }
+        function main() { return helper(21); }
+        """)
+        assert set(prog.functions) == {"helper", "main"}
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("src", [
+        "",                                        # empty program
+        "function f( { return 0; }",               # bad params
+        "function f() { return 0 }",               # missing semicolon
+        "function f() { for i = 1 { } return 0; }",  # missing to
+        "function f() { x = ; return 0; }",        # missing expression
+        "function f() { return 0; ",               # unterminated block
+        "function f(a, a) { return 0; }",          # duplicate params
+        "function f() { return 0; } function f() { return 1; }",  # dup fn
+        "function f() { if x { y = 1; } else ; return 0; }",      # bad else
+    ])
+    def test_rejects(self, src):
+        with pytest.raises(ParseError):
+            parse(src)
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("function f() {\n  x = ;\n}")
+        assert exc.value.location is not None
+        assert exc.value.location.line == 2

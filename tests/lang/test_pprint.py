@@ -1,0 +1,61 @@
+"""Pretty-printer round-trip tests: parse -> print -> parse is identity
+(up to source locations)."""
+
+import pytest
+
+from repro.apps.livermore import KERNELS
+from repro.apps.matmul import MATMUL_SOURCE
+from repro.apps.nbody import NBODY_SOURCE
+from repro.apps.simple_app import simple_source
+from repro.apps.stencil import STENCIL_SOURCE
+from repro.lang.parser import parse, parse_expression
+from repro.lang.pprint import ast_fingerprint, format_expr, format_program
+
+SOURCES = {
+    "matmul": MATMUL_SOURCE,
+    "stencil": STENCIL_SOURCE,
+    "simple": simple_source(),
+    "nbody": NBODY_SOURCE,
+    **{f"livermore-{k}": v for k, v in KERNELS.items()},
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_round_trip_every_app(name):
+    tree = parse(SOURCES[name])
+    printed = format_program(tree)
+    reparsed = parse(printed)
+    assert ast_fingerprint(reparsed) == ast_fingerprint(tree)
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_printed_source_still_runs(name):
+    from repro.api import compile_source
+
+    printed = format_program(parse(SOURCES[name]))
+    program = compile_source(printed)
+    assert program.pods.instruction_count() > 0
+
+
+@pytest.mark.parametrize("src", [
+    "(1 + 2) * 3",
+    "-x ^ 2",
+    "if a < b then a else b",
+    "not (a and b or c)",
+    "A[i - 1, j + 1]",
+    "min(sqrt(abs(x)), 2.5)",
+    "f(g(1), h(2, 3))",
+    "true",
+    "(-4)",
+])
+def test_expression_round_trip(src):
+    tree = parse_expression(src)
+    printed = format_expr(tree)
+    assert ast_fingerprint(parse_expression(printed)) == ast_fingerprint(tree)
+
+
+def test_idempotent_formatting():
+    src = simple_source()
+    once = format_program(parse(src))
+    twice = format_program(parse(once))
+    assert once == twice

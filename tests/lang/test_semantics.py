@@ -1,0 +1,216 @@
+"""Semantic-analysis tests."""
+
+import pytest
+
+from repro.common.errors import SemanticError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+from repro.lang.semantics import analyze
+
+
+def check(src):
+    prog = parse(src)
+    info = analyze(prog)
+    return prog, info
+
+
+class TestAccepts:
+    def test_paper_example(self):
+        check("""
+        function main(n) {
+            A = matrix(50, 10);
+            for i = 1 to 50 {
+                for j = 1 to 10 { A[i, j] = i * 10 + j; }
+            }
+            return A;
+        }
+        """)
+
+    def test_carried_vars_recorded_on_loop(self):
+        prog, _ = check("""
+        function f(n) {
+            s = 0;
+            for i = 1 to n { next s = s + i; }
+            return s;
+        }
+        """)
+        loop = prog.function("f").body[1]
+        assert loop.carried == ["s"]
+
+    def test_carried_var_attaches_to_innermost_loop(self):
+        prog, _ = check("""
+        function f(n) {
+            total = 0;
+            for i = 1 to n {
+                row = 0;
+                for j = 1 to n { next row = row + j; }
+                next total = total + row;
+            }
+            return total;
+        }
+        """)
+        outer = prog.function("f").body[1]
+        inner = outer.body[1]
+        assert outer.carried == ["total"]
+        assert inner.carried == ["row"]
+
+    def test_next_in_both_if_branches(self):
+        check("""
+        function f(n) {
+            s = 0;
+            for i = 1 to n {
+                if i % 2 == 0 { next s = s + i; } else { next s = s - i; }
+            }
+            return s;
+        }
+        """)
+
+    def test_same_name_in_sibling_scopes(self):
+        check("""
+        function f(n) {
+            if n > 0 { t = 1; } else { t = 2; }
+            return n;
+        }
+        """)
+
+    def test_shadowing_in_inner_scope(self):
+        # A loop body is a new scope; rebinding a new name there is fine.
+        check("""
+        function f(n) {
+            for i = 1 to n { x = i * 2; }
+            return n;
+        }
+        """)
+
+    def test_arrays_passed_to_functions(self):
+        check("""
+        function get(B, i) { return B[i]; }
+        function main() {
+            A = array(4);
+            A[1] = 10;
+            return get(A, 1);
+        }
+        """)
+
+    def test_recursion_allowed(self):
+        _, info = check("""
+        function fib(n) {
+            return if n < 2 then n else fib(n - 1) + fib(n - 2);
+        }
+        function main() { return fib(10); }
+        """)
+        assert "fib" in info.functions["fib"].calls
+
+    def test_while_with_carried(self):
+        prog, _ = check("""
+        function f(n) {
+            s = 1;
+            while s < n { next s = s * 2; }
+            return s;
+        }
+        """)
+        loop = prog.function("f").body[1]
+        assert loop.carried == ["s"]
+
+    def test_if_expression_kinds(self):
+        check("function f(c, a, b) { return if c then a else b; }")
+
+
+class TestRejects:
+    def reject(self, src, fragment):
+        with pytest.raises(SemanticError) as exc:
+            check(src)
+        assert fragment in str(exc.value)
+
+    def test_undefined_name(self):
+        self.reject("function f() { return x; }", "undefined name 'x'")
+
+    def test_use_before_definition(self):
+        self.reject("function f() { y = x + 1; x = 2; return y; }",
+                    "undefined name 'x'")
+
+    def test_double_binding(self):
+        self.reject("function f() { x = 1; x = 2; return x; }",
+                    "single-assignment")
+
+    def test_rebinding_parameter(self):
+        self.reject("function f(x) { x = 1; return x; }", "single-assignment")
+
+    def test_next_outside_loop(self):
+        self.reject("function f() { s = 0; next s = 1; return s; }",
+                    "outside of a loop")
+
+    def test_next_of_loop_local(self):
+        self.reject("""
+        function f(n) {
+            for i = 1 to n { s = 0; next s = s + 1; }
+            return n;
+        }
+        """, "not defined outside")
+
+    def test_next_of_loop_variable(self):
+        self.reject("""
+        function f(n) {
+            for i = 1 to n { next i = i + 2; }
+            return n;
+        }
+        """, "not defined outside")
+
+    def test_next_twice_on_one_path(self):
+        self.reject("""
+        function f(n) {
+            s = 0;
+            for i = 1 to n { next s = s + 1; next s = s + 2; }
+            return s;
+        }
+        """, "twice on one path")
+
+    def test_subscript_on_scalar(self):
+        self.reject("function f() { x = 1; return x[1]; }", "scalar")
+
+    def test_write_to_scalar(self):
+        self.reject("function f() { x = 1; x[1] = 2; return x; }", "scalar")
+
+    def test_undefined_function(self):
+        self.reject("function f() { return g(1); }", "undefined function")
+
+    def test_wrong_arity(self):
+        self.reject("""
+        function g(a, b) { return a + b; }
+        function f() { return g(1); }
+        """, "takes 2 argument")
+
+    def test_wrong_builtin_arity(self):
+        self.reject("function f() { return sqrt(1, 2); }", "exactly 1")
+        self.reject("function f() { return min(1); }", "exactly 2")
+        self.reject("function f() { A = matrix(1); return 0; }", "2 dimensions")
+        self.reject("function f() { A = array(1, 2, 3, 4); return 0; }",
+                    "1 to 3")
+
+    def test_return_inside_loop(self):
+        self.reject("""
+        function f(n) {
+            for i = 1 to n { return i; }
+            return 0;
+        }
+        """, "inside a loop")
+
+    def test_missing_return(self):
+        self.reject("function f() { x = 1; }", "does not return")
+
+    def test_if_without_else_does_not_count_as_return(self):
+        self.reject("""
+        function f(n) {
+            if n > 0 { return 1; }
+        }
+        """, "does not return")
+
+    def test_if_with_both_returns_counts(self):
+        check("""
+        function f(n) {
+            if n > 0 { return 1; } else { return 0; }
+        }
+        """)
+
+    def test_unreachable_after_return(self):
+        self.reject("function f() { return 1; x = 2; }", "unreachable")

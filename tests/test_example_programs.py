@@ -1,0 +1,38 @@
+"""The .idl programs shipped under examples/programs/ must compile and
+run on every backend through the CLI."""
+
+import glob
+import os
+
+import pytest
+
+from repro.cli import main
+
+PROGRAMS = sorted(glob.glob(
+    os.path.join(os.path.dirname(__file__), "..", "examples", "programs",
+                 "*.idl")))
+
+
+def needs_args(path):
+    return "main(n)" in open(path).read()
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=os.path.basename)
+def test_program_runs_on_cli(path, capsys):
+    args = ["run", path, "--pes", "2"]
+    if needs_args(path):
+        args += ["--args", "8"]
+    assert main(args) == 0
+    assert "value:" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=os.path.basename)
+def test_program_partition_and_listing(path, capsys):
+    assert main(["partition", path]) == 0
+    assert main(["listing", path]) == 0
+    out = capsys.readouterr().out
+    assert "SP 0" in out
+
+
+def test_programs_exist():
+    assert len(PROGRAMS) >= 3

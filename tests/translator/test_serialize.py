@@ -1,0 +1,102 @@
+"""Round-trip tests for .pods program serialization."""
+
+import pytest
+
+from repro.api import compile_source
+from repro.common.errors import TranslationError
+from repro.sim.machine import run_program
+from repro.translator.serialize import (
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+
+SRC = """
+function f(x) { return x * x; }
+function main(n) {
+    A = matrix(n, n);
+    for i = 1 to n {
+        for j = 1 to n { A[i, j] = f(i) + j; }
+    }
+    s = 0;
+    for i = 1 to n {
+        r = 0;
+        for j = 1 to n { next r = r + A[i, j]; }
+        next s = s + r;
+    }
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SRC)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self, program):
+        data = program_to_dict(program.pods)
+        back = program_from_dict(data)
+        assert back.listing() == program.pods.listing()
+        assert back.entry_block == program.pods.entry_block
+        assert back.arity == program.pods.arity
+
+    def test_file_round_trip_executes_identically(self, program, tmp_path):
+        path = tmp_path / "prog.pods"
+        save_program(program.pods, str(path))
+        loaded = load_program(str(path))
+        a = run_program(program.pods, (5,))
+        b = run_program(loaded, (5,))
+        assert a.value == b.value
+        assert a.finish_time_us == b.finish_time_us
+        assert a.stats.events_processed == b.stats.events_processed
+
+    def test_json_is_plain_data(self, program, tmp_path):
+        import json
+
+        path = tmp_path / "prog.pods"
+        save_program(program.pods, str(path))
+        data = json.loads(path.read_text())
+        assert data["format"] == "pods-program"
+        assert data["version"] == 1
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(TranslationError):
+            program_from_dict({"format": "something-else", "version": 1})
+        with pytest.raises(TranslationError):
+            program_from_dict({"format": "pods-program", "version": 99})
+
+
+class TestCli:
+    def test_compile_then_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "p.idl"
+        src.write_text("""
+        function main(n) {
+            A = array(n);
+            for i = 1 to n { A[i] = i * i; }
+            s = 0;
+            for i = 1 to n { next s = s + A[i]; }
+            return s;
+        }
+        """)
+        assert main(["compile", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and ".pods" in out
+
+        pods_file = str(tmp_path / "p.pods")
+        assert main(["run", pods_file, "--args", "5", "--pes", "2"]) == 0
+        assert "value: 55" in capsys.readouterr().out
+
+    def test_pods_file_rejects_other_backends(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "p.idl"
+        src.write_text("function main() { return 1; }")
+        main(["compile", str(src)])
+        capsys.readouterr()
+        assert main(["run", str(tmp_path / "p.pods"),
+                     "--backend", "sequential"]) == 1
