@@ -1,6 +1,7 @@
-"""Real-parallel backend: wall-clock behaviour of the multiprocessing
-executor on this host.  Speedup requires physical cores (the container
-CI host may have one); correctness must hold regardless."""
+"""Real-parallel backend: wall-clock behaviour of the supervised
+multiprocessing executor on this host.  Speedup requires physical cores
+(the container CI host may have one); correctness — and the per-worker
+telemetry the supervisor returns — must hold regardless."""
 
 from __future__ import annotations
 
@@ -9,7 +10,7 @@ import os
 import pytest
 
 from repro.apps.matmul import compile_matmul
-from repro.bench.harness import save_report
+from repro.bench.harness import parallel_sweep, save_report
 from repro.bench.report import render_table
 
 N = 20
@@ -19,25 +20,29 @@ def test_parallel_backend_wall_clock(benchmark):
     program = compile_matmul(checksum=True)
     seq = program.run_sequential((N,))
 
+    points = parallel_sweep(program, (N,), worker_counts=(1, 2, 4))
     rows = []
-    wall = {}
-    for workers in (1, 2, 4):
-        result = program.run_parallel((N,), workers=workers)
-        assert result.value == pytest.approx(seq.value, rel=1e-12)
-        wall[workers] = result.wall_time_s
-        rows.append([workers, result.wall_time_s,
-                     wall[1] / result.wall_time_s])
+    for pt in points:
+        assert pt.value == pytest.approx(seq.value, rel=1e-12)
+        rows.append([pt.workers, pt.wall_time_s, pt.speedup,
+                     pt.shared_reads, pt.shared_writes, pt.deferred_reads,
+                     pt.max_spin_wait_s * 1e3])
 
     cores = os.cpu_count() or 1
-    table = render_table(["workers", "wall (s)", "speed-up"], rows)
+    table = render_table(
+        ["workers", "wall (s)", "speed-up", "sh-reads", "sh-writes",
+         "deferred", "max-spin (ms)"], rows)
     report = (f"Real-parallel backend - matmul {N}x{N} checksum "
               f"(host has {cores} core(s))\n\n" + table + "\n\n"
-              "Speed-up needs physical cores; on a single-core host the\n"
-              "backend demonstrates correctness of the shared-I-structure\n"
-              "execution only.")
+              "Telemetry columns come from the per-worker counters the\n"
+              "supervisor gathers (summed; max-spin is the worst single\n"
+              "deferred-read wait).  Speed-up needs physical cores; on a\n"
+              "single-core host the backend demonstrates correctness of\n"
+              "the shared-I-structure execution only.")
     save_report("parallel_backend.txt", report)
     print("\n" + report)
 
+    wall = {pt.workers: pt.wall_time_s for pt in points}
     if cores >= 4:
         assert wall[4] < wall[1] * 1.1  # some benefit or at least no harm
 

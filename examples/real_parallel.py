@@ -50,18 +50,25 @@ def main() -> None:
     print(f"sequential checksum: {seq.value:.6f}")
 
     base = None
+    last = None
     for workers in (1, 2, 4):
         result = program.run_parallel((n,), workers=workers)
         assert abs(result.value - seq.value) < 1e-6 * abs(seq.value)
         if base is None:
             base = result.wall_time_s
+        last = result
         print(f"{workers} worker(s): wall {result.wall_time_s:6.2f} s  "
               f"speed-up {base / result.wall_time_s:4.2f}  "
               f"checksum {result.value:.6f}")
 
+    print("\nPer-worker telemetry of the 4-worker run:")
+    print(last.telemetry_table())
+
     print("\nEvery worker executed the sweep's dependent rows only after")
     print("the producing worker set the shared presence bits - real")
-    print("I-structure synchronization across processes.")
+    print("I-structure synchronization across processes.  The deferred")
+    print("column counts reads that had to spin on a presence bit; the")
+    print("rf-subranges column shows each worker's Range-Filter slice.")
 
 
 if __name__ == "__main__":

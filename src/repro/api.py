@@ -63,11 +63,21 @@ class Program:
 
         return run_static(self, args, num_pes=num_pes, config=config)
 
-    def run_parallel(self, args: tuple = (), workers: int = 2):
-        """Execute for real with the multiprocessing backend."""
+    def run_parallel(self, args: tuple = (), workers: int = 2,
+                     config=None, faults=None, **kwargs):
+        """Execute for real with the supervised multiprocessing backend.
+
+        ``config`` takes a :class:`repro.common.config.ParallelConfig`;
+        ``faults`` a fault-injection spec (see
+        :mod:`repro.parallel.faults`); extra keyword arguments
+        (``timeout_s``, ``page_size``) pass through to
+        :func:`repro.parallel.executor.run_parallel`.
+        """
         from repro.parallel.executor import run_parallel
 
-        return run_parallel(self.ast, args, workers=workers, entry=self.entry)
+        return run_parallel(self.ast, args, workers=workers,
+                            entry=self.entry, config=config, faults=faults,
+                            **kwargs)
 
     # -- introspection ---------------------------------------------------
 

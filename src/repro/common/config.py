@@ -65,6 +65,55 @@ class MachineConfig:
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs for the real-parallel (multiprocessing) backend.
+
+    Attributes:
+        workers: Worker processes (the wall-clock counterpart of
+            ``num_pes``).
+        page_size: Elements per array page, as in :class:`MachineConfig`.
+        timeout_s: Overall run deadline; workers still alive at the
+            deadline are terminated and reported as hung.
+        poll_interval_s: Supervisor poll granularity — a dead or hung
+            worker is detected within roughly this bound rather than at
+            the full ``timeout_s``.
+        grace_s: After a worker's process exits, how long the supervisor
+            keeps draining the result queue for the worker's final
+            message before declaring the worker crashed/lost (the queue
+            feeder thread flushes asynchronously with process exit).
+        read_timeout_s: Deferred-read spin bound inside workers; a read
+            of a never-written element raises a deadlock diagnostic
+            after this long.
+        fault_spec: Fault-injection plan (see
+            :mod:`repro.parallel.faults`); ``None`` falls back to the
+            ``PODS_FAULTS`` environment variable, which is empty in
+            normal operation.
+    """
+
+    workers: int = 2
+    page_size: int = 32
+    timeout_s: float = 120.0
+    poll_interval_s: float = 0.05
+    grace_s: float = 0.5
+    read_timeout_s: float = 30.0
+    fault_spec: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {self.page_size}")
+        for name in ("timeout_s", "poll_interval_s", "grace_s",
+                     "read_timeout_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+    def with_workers(self, workers: int) -> "ParallelConfig":
+        """Return a copy of this config with a different worker count."""
+        return replace(self, workers=workers)
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Dynamic knobs for one simulation run.
 

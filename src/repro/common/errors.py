@@ -118,3 +118,56 @@ class DeadlockError(RuntimeFault):
 
 class ExecutionError(RuntimeFault):
     """An instruction failed while executing (bad opcode, type error, ...)."""
+
+
+class WorkerFailure:
+    """Structured record of one failed real-parallel worker.
+
+    ``kind`` classifies how the supervisor saw the worker die:
+
+    * ``"error"`` — the worker reported an exception before exiting
+      (``detail`` carries the remote traceback);
+    * ``"crash"`` — the process exited nonzero/by signal without
+      reporting (``exitcode`` is negative for a signal, per
+      ``multiprocessing``);
+    * ``"lost"`` — the process exited cleanly but never delivered its
+      completion message (e.g. it was dropped pre-result);
+    * ``"hang"`` — the worker was still alive at the run deadline and
+      had to be terminated.
+    """
+
+    __slots__ = ("worker", "exitcode", "kind", "detail")
+
+    def __init__(self, worker: int, exitcode: int | None = None,
+                 kind: str = "crash", detail: str = "") -> None:
+        self.worker = worker
+        self.exitcode = exitcode
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return (f"WorkerFailure(worker={self.worker}, kind={self.kind!r}, "
+                f"exitcode={self.exitcode})")
+
+    def describe(self) -> str:
+        code = "?" if self.exitcode is None else self.exitcode
+        line = f"worker {self.worker}: {self.kind} (exitcode {code})"
+        if self.detail:
+            line += f"\n{self.detail.rstrip()}"
+        return line
+
+
+class ParallelExecutionError(ExecutionError):
+    """One or more real-parallel workers failed; carries the records.
+
+    Subclasses :class:`ExecutionError` so existing ``except
+    ExecutionError`` call sites keep working; ``failures`` holds one
+    :class:`WorkerFailure` per dead/hung/erroring worker.
+    """
+
+    def __init__(self, message: str,
+                 failures: list[WorkerFailure] | None = None) -> None:
+        self.failures = list(failures or [])
+        if self.failures:
+            message += "\n" + "\n".join(f.describe() for f in self.failures)
+        super().__init__(message)

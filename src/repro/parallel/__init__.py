@@ -1,6 +1,11 @@
-"""Real-parallel backend: multiprocessing workers over shared I-structures."""
+"""Real-parallel backend: supervised multiprocessing workers over
+shared I-structures, with fault injection and per-worker telemetry."""
 
-from repro.parallel.executor import ParallelResult, run_parallel
+from repro.parallel.executor import (ParallelResult, WorkerTelemetry,
+                                     run_parallel)
+from repro.parallel.faults import Fault, FaultPlan
+from repro.parallel.manifest import ShmManifest
 from repro.parallel.shm_arrays import ShmArray
 
-__all__ = ["ParallelResult", "ShmArray", "run_parallel"]
+__all__ = ["Fault", "FaultPlan", "ParallelResult", "ShmArray",
+           "ShmManifest", "WorkerTelemetry", "run_parallel"]

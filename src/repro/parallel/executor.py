@@ -15,6 +15,15 @@ Distributed Execution:
   which also gives sweep pipelining for free;
 * arrays allocated inside a distributed iteration are worker-private.
 
+Process lifecycle is supervised: the parent watches worker sentinels
+concurrently with the result queue, so a crashed, lost, or hung worker
+surfaces as a structured :class:`WorkerFailure` inside a
+:class:`ParallelExecutionError` within one poll interval — never as a
+silently truncated result or a full-timeout stall.  Shared segments are
+tracked in an append-only manifest (:mod:`repro.parallel.manifest`) and
+reclaimed on every exit path; the failure paths themselves are testable
+through deterministic fault injection (:mod:`repro.parallel.faults`).
+
 The backend exists to demonstrate genuine wall-clock speedup of the
 partitioning scheme on real cores; the instruction-level simulator
 remains the quantitative instrument, as in the paper.
@@ -25,16 +34,52 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
 from typing import Any
 
-from repro.common.errors import ExecutionError
+from repro.common.config import ParallelConfig
+from repro.common.errors import (ExecutionError, ParallelExecutionError,
+                                 WorkerFailure)
 from repro.graph import build_graph, ir
 from repro.lang import ast_nodes as A
 from repro.partitioner import partition
 from repro.runtime.arrays import ArrayHeader
 from repro.baseline.sequential import Clock, Interpreter, SeqArray
+from repro.parallel.faults import FaultInjector, FaultPlan, resolve_plan
+from repro.parallel.manifest import ShmManifest
 from repro.parallel.shm_arrays import ShmArray
+
+
+@dataclass
+class WorkerTelemetry:
+    """One worker's self-reported execution profile."""
+
+    worker: int
+    wall_time_s: float = 0.0
+    shared_reads: int = 0
+    shared_writes: int = 0
+    deferred_reads: int = 0
+    spin_wait_s: float = 0.0
+    max_spin_wait_s: float = 0.0
+    # (loop block, first, last, times executed) — an inner-loop RF runs
+    # once per enclosing iteration, hence the count.
+    rf_subranges: list[tuple[str, int, int, int]] = field(
+        default_factory=list)
+
+    @classmethod
+    def from_dict(cls, worker: int, d: dict) -> "WorkerTelemetry":
+        return cls(
+            worker=worker,
+            wall_time_s=d.get("wall_time_s", 0.0),
+            shared_reads=d.get("shared_reads", 0),
+            shared_writes=d.get("shared_writes", 0),
+            deferred_reads=d.get("deferred_reads", 0),
+            spin_wait_s=d.get("spin_wait_s", 0.0),
+            max_spin_wait_s=d.get("max_spin_wait_s", 0.0),
+            rf_subranges=[tuple(r) for r in d.get("rf_subranges", [])],
+        )
 
 
 @dataclass
@@ -42,6 +87,23 @@ class ParallelResult:
     value: Any
     wall_time_s: float
     workers: int
+    worker_stats: list[WorkerTelemetry] = field(default_factory=list)
+
+    def telemetry_table(self) -> str:
+        """Per-worker profile as an aligned text block."""
+        lines = ["worker  wall(s)  sh-reads  sh-writes  deferred  "
+                 "max-spin(ms)  rf-subranges"]
+        for t in self.worker_stats:
+            ranges = " ".join(
+                f"{name}[{first}..{last}]" + (f"*{count}" if count > 1
+                                              else "")
+                for name, first, last, count in t.rf_subranges)
+            lines.append(f"{t.worker:>6}  {t.wall_time_s:>7.3f}  "
+                         f"{t.shared_reads:>8}  {t.shared_writes:>9}  "
+                         f"{t.deferred_reads:>8}  "
+                         f"{t.max_spin_wait_s * 1e3:>12.2f}  "
+                         f"{ranges or '-'}")
+        return "\n".join(lines)
 
 
 class _WorkerInterpreter(Interpreter):
@@ -49,17 +111,24 @@ class _WorkerInterpreter(Interpreter):
 
     def __init__(self, program: A.Program, graph: ir.ProgramGraph,
                  worker: int, num_workers: int, run_tag: str,
-                 page_size: int, entry: str) -> None:
+                 page_size: int, entry: str,
+                 manifest: ShmManifest | None = None,
+                 injector: FaultInjector | None = None,
+                 read_timeout_s: float = 30.0) -> None:
         super().__init__(program, clock=Clock(), entry=entry)
         self.worker = worker
         self.num_workers = num_workers
         self.run_tag = run_tag
         self.page_size = page_size
+        self.manifest = manifest
+        self.injector = injector or FaultInjector(FaultPlan(), worker)
+        self.read_timeout_s = read_timeout_s
         self.block_of = {id(b.ast_ref): b for b in graph.loop_blocks()
                          if b.ast_ref is not None}
         self.alloc_seq = 0
         self.shared_arrays: list[ShmArray] = []
         self.in_distributed = 0
+        self.rf_counts: dict[tuple[str, int, int], int] = {}
 
     # -- allocation -----------------------------------------------------
 
@@ -71,7 +140,12 @@ class _WorkerInterpreter(Interpreter):
         # number, so they agree on the segment name; worker 0 creates it.
         self.alloc_seq += 1
         name = f"{self.run_tag}_{self.alloc_seq}"
-        arr = ShmArray(name, tuple(dims), create=(self.worker == 0))
+        create = self.worker == 0
+        if create and self.manifest is not None:
+            # Record before creating: a death in the gap costs a no-op
+            # unlink, while the reverse order would leak the segment.
+            self.manifest.record(name)
+        arr = ShmArray(name, tuple(dims), create=create)
         self.shared_arrays.append(arr)
         return arr
 
@@ -79,11 +153,20 @@ class _WorkerInterpreter(Interpreter):
 
     def on_array_read(self, arr, indices: tuple) -> Any:
         if isinstance(arr, ShmArray):
-            return arr.read(indices)
+            return arr.read(indices, timeout_s=self.read_timeout_s)
         return arr.read(indices)
 
     def on_array_write(self, arr, indices: tuple, value: Any) -> None:
+        if isinstance(arr, ShmArray):
+            self.injector.fire("write")
         arr.write(indices, value)
+
+    # -- loops -------------------------------------------------------------
+
+    def run_iteration(self, stmt: A.For, env: list[dict], depth: int,
+                      i: int) -> None:
+        self.injector.fire("iter")
+        super().run_iteration(stmt, env, depth, i)
 
     # -- distributed loops ----------------------------------------------------
 
@@ -111,6 +194,8 @@ class _WorkerInterpreter(Interpreter):
         first, last = header.filtered_range(
             self.worker, init, limit, descending=stmt.descending,
             fixed=fixed, dim=rf.dim)
+        key = (block.name, first, last)
+        self.rf_counts[key] = self.rf_counts.get(key, 0) + 1
         self.in_distributed += 1
         try:
             self.run_for_range(stmt, env, depth, first, last, step)
@@ -125,45 +210,87 @@ class _WorkerInterpreter(Interpreter):
             return self.lookup(env, d.name)
         raise ExecutionError(f"cannot resolve vid {vid} of {block.name}")
 
+    # -- reporting -------------------------------------------------------
+
+    def telemetry(self, wall_time_s: float) -> dict:
+        out = {"wall_time_s": wall_time_s, "shared_reads": 0,
+               "shared_writes": 0, "deferred_reads": 0, "spin_wait_s": 0.0,
+               "max_spin_wait_s": 0.0,
+               "rf_subranges": [(name, first, last, count)
+                                for (name, first, last), count
+                                in self.rf_counts.items()]}
+        for arr in self.shared_arrays:
+            s = arr.stats()
+            out["shared_reads"] += s["reads"]
+            out["shared_writes"] += s["writes"]
+            out["deferred_reads"] += s["deferred_reads"]
+            out["spin_wait_s"] += s["spin_wait_s"]
+            out["max_spin_wait_s"] = max(out["max_spin_wait_s"],
+                                         s["max_spin_wait_s"])
+        return out
+
     def cleanup(self) -> None:
         for arr in self.shared_arrays:
             arr.close()
 
 
 def _worker_main(program, graph, worker, num_workers, run_tag, page_size,
-                 entry, args, out_queue) -> None:
+                 entry, args, out_queue, manifest_path, read_timeout_s,
+                 plan) -> None:
+    injector = FaultInjector(plan, worker)
+    manifest = ShmManifest(manifest_path, run_tag)
     interp = _WorkerInterpreter(program, graph, worker, num_workers,
-                                run_tag, page_size, entry)
+                                run_tag, page_size, entry,
+                                manifest=manifest, injector=injector,
+                                read_timeout_s=read_timeout_s)
+    t0 = time.perf_counter()
     try:
         result = interp.run(tuple(args), materialize=False)
+        injector.fire("result")
         if worker == 0:
             value = result.value
             if isinstance(value, ShmArray):
                 # Other workers may still be writing; the parent attaches
-                # and snapshots after every worker has joined.
-                out_queue.put(("array", (value.name, value.dims)))
+                # and snapshots only after every worker reports done.
+                out_queue.put(("result", worker,
+                               ("array", (value.name, value.dims))))
             else:
-                out_queue.put(("ok", value))
+                out_queue.put(("result", worker, ("ok", value)))
+        out_queue.put(("done", worker,
+                       interp.telemetry(time.perf_counter() - t0)))
     except BaseException as exc:  # noqa: BLE001 - must cross the process
         import traceback
 
-        out_queue.put(("err", f"worker {worker}: "
-                              f"{type(exc).__name__}: {exc}\n"
-                              f"{traceback.format_exc()}"))
+        out_queue.put(("err", worker,
+                       f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}"))
     finally:
         interp.cleanup()
 
 
 def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
                  entry: str = "main", page_size: int = 32,
-                 timeout_s: float = 120.0) -> ParallelResult:
-    """Execute ``program_ast`` on real processes and return the result."""
-    import time
+                 timeout_s: float = 120.0,
+                 config: ParallelConfig | None = None,
+                 faults=None) -> ParallelResult:
+    """Execute ``program_ast`` on real, supervised processes.
+
+    Raises :class:`ParallelExecutionError` (an :class:`ExecutionError`)
+    with one :class:`WorkerFailure` per dead/lost/hung worker; a partial
+    result is never returned.  ``faults`` takes a spec string or
+    :class:`FaultPlan` (``None`` defers to ``config.fault_spec``, then
+    the ``PODS_FAULTS`` environment variable).
+    """
+    cfg = config or ParallelConfig(workers=workers, page_size=page_size,
+                                   timeout_s=timeout_s)
+    plan = resolve_plan(faults if faults is not None else cfg.fault_spec)
+    nw = cfg.workers
 
     graph = build_graph(program_ast, entry=entry)
     partition(graph)
 
     run_tag = f"pods{os.getpid()}_{int(time.monotonic_ns() % 1_000_000_000)}"
+    manifest = ShmManifest.create(run_tag)
     ctx = mp.get_context("fork")
     out_queue = ctx.Queue()
 
@@ -171,37 +298,110 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
     procs = [
         ctx.Process(
             target=_worker_main,
-            args=(program_ast, graph, w, workers, run_tag, page_size,
-                  entry, args, out_queue),
+            args=(program_ast, graph, w, nw, run_tag, cfg.page_size,
+                  entry, args, out_queue, manifest.path, cfg.read_timeout_s,
+                  plan),
         )
-        for w in range(workers)
+        for w in range(nw)
     ]
     for p in procs:
         p.start()
+
+    deadline = time.monotonic() + cfg.timeout_s
+    pending = set(range(nw))
+    telemetry: dict[int, dict] = {}
+    failures: list[WorkerFailure] = []
+    grace: dict[int, float] = {}
+    result_msg: tuple | None = None
+
+    def handle(msg: tuple) -> None:
+        nonlocal result_msg
+        tag, worker, payload = msg
+        if tag == "result":
+            result_msg = payload
+        elif tag == "done":
+            telemetry[worker] = payload
+            pending.discard(worker)
+            grace.pop(worker, None)
+        elif tag == "err":
+            failures.append(WorkerFailure(worker, exitcode=None,
+                                          kind="error", detail=payload))
+            pending.discard(worker)
+
     try:
-        try:
-            status, payload = out_queue.get(timeout=timeout_s)
-        except queue.Empty:
-            raise ExecutionError("parallel run timed out") from None
-        for p in procs:
-            p.join(timeout=timeout_s)
-        # Any worker (not only worker 0) may have failed after the
-        # result message was queued; surface the first error.
-        while status != "err":
-            try:
-                status, payload = out_queue.get_nowait()
-            except queue.Empty:
+        while pending and not failures:
+            # Drain every message already delivered.
+            while True:
+                try:
+                    handle(out_queue.get_nowait())
+                except queue.Empty:
+                    break
+            if not pending or failures:
                 break
+            now = time.monotonic()
+            if now >= deadline:
+                for w in sorted(pending):
+                    failures.append(WorkerFailure(
+                        w, exitcode=None, kind="hang",
+                        detail=f"still running at the {cfg.timeout_s:g}s "
+                               "deadline; terminated"))
+                break
+            # A worker that exited without reporting gets a short grace
+            # for its final queue message to flush, then is declared
+            # crashed (nonzero exit) or lost (clean exit, no message).
+            for w in sorted(pending):
+                p = procs[w]
+                if p.is_alive():
+                    continue
+                if w not in grace:
+                    grace[w] = now + cfg.grace_s
+                elif now >= grace[w]:
+                    code = p.exitcode
+                    failures.append(WorkerFailure(
+                        w, exitcode=code,
+                        kind="lost" if code == 0 else "crash",
+                        detail="exited without reporting a result"))
+                    pending.discard(w)
+            if failures or not pending:
+                break
+            sentinels = [procs[w].sentinel for w in pending
+                         if procs[w].is_alive()]
+            wait_s = min(cfg.poll_interval_s, max(deadline - now, 0.001))
+            if sentinels:
+                connection.wait(sentinels, timeout=wait_s)
+            else:
+                time.sleep(min(wait_s, 0.005))
     finally:
         for p in procs:
             if p.is_alive():
                 p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - terminate was refused
+                p.kill()
                 p.join()
+        out_queue.close()
     wall = time.perf_counter() - start
 
-    if status == "err":
-        _cleanup_segments(run_tag)
-        raise ExecutionError(payload)
+    if failures:
+        manifest.cleanup()
+        hung = [f.worker for f in failures if f.kind == "hang"]
+        if hung and len(hung) == len(failures):
+            message = (f"parallel run timed out after {cfg.timeout_s:g}s; "
+                       f"unjoined workers: {hung}")
+        else:
+            message = (f"parallel run failed: {len(failures)} of {nw} "
+                       "worker(s) did not complete")
+        raise ParallelExecutionError(message, failures)
+
+    if result_msg is None:
+        manifest.cleanup()
+        raise ParallelExecutionError(
+            "worker 0 completed without producing a result",
+            [WorkerFailure(0, exitcode=procs[0].exitcode, kind="lost",
+                           detail="no result message received")])
+
+    status, payload = result_msg
     if status == "array":
         name, dims = payload
         arr = ShmArray(name, dims, create=False)
@@ -209,19 +409,8 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
             payload = arr.to_value()
         finally:
             arr.close()
-    _cleanup_segments(run_tag)
-    return ParallelResult(value=payload, wall_time_s=wall, workers=workers)
-
-
-
-def _cleanup_segments(run_tag: str, max_arrays: int = 4096) -> None:
-    """Unlink any shared segments the run left behind."""
-    from multiprocessing import shared_memory
-
-    for seq in range(1, max_arrays + 1):
-        try:
-            shm = shared_memory.SharedMemory(name=f"{run_tag}_{seq}")
-        except FileNotFoundError:
-            break
-        shm.close()
-        shm.unlink()
+    manifest.cleanup()
+    stats = [WorkerTelemetry.from_dict(w, telemetry.get(w, {}))
+             for w in range(nw)]
+    return ParallelResult(value=payload, wall_time_s=wall, workers=nw,
+                          worker_stats=stats)

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for the real-parallel backend.
+
+The supervisor in :mod:`repro.parallel.executor` exists to turn worker
+death into structured errors; these hooks exist to *cause* worker death
+on demand so the failure paths are testable.  A fault plan is a list of
+faults, each bound to one worker and one trigger event:
+
+* ``kill``  — ``os._exit`` with a nonzero code (a crash the parent sees
+  only through the exitcode, like a segfault or OOM kill);
+* ``hang``  — sleep for ``seconds`` (a stuck worker the parent must
+  time out and terminate);
+* ``drop``  — ``os._exit(0)`` (a clean exit that never delivers its
+  result/telemetry message — a "lost" worker);
+* ``delay`` — sleep ``seconds`` before every matching event from
+  ``after`` onward (slow writes widening race windows).
+
+Trigger events, counted per worker:
+
+* ``iter``   — one distributed-loop iteration is about to run;
+* ``write``  — one shared-array write is about to happen;
+* ``result`` — the worker is about to enqueue its result/telemetry.
+
+Plans parse from a compact spec string (also accepted via the
+``PODS_FAULTS`` environment variable)::
+
+    kill:worker=1,on=iter,after=3
+    hang:worker=0,seconds=60;drop:worker=2
+
+Faults are a test/bench instrument: parsing is strict and raises
+``ValueError`` on anything malformed rather than guessing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+DEFAULT_KILL_EXITCODE = 113
+
+_ACTIONS = ("kill", "hang", "drop", "delay")
+_EVENTS = ("iter", "write", "result")
+_DEFAULT_EVENT = {"kill": "iter", "hang": "iter", "drop": "result",
+                  "delay": "write"}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: ``action`` on ``worker`` at trigger ``on``."""
+
+    action: str
+    worker: int
+    on: str = ""
+    after: int = 0
+    seconds: float = 60.0
+    exitcode: int = DEFAULT_KILL_EXITCODE
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if not self.on:
+            object.__setattr__(self, "on", _DEFAULT_EVENT[self.action])
+        if self.on not in _EVENTS:
+            raise ValueError(f"unknown fault trigger {self.on!r}")
+        if self.worker < 0:
+            raise ValueError("fault worker must be >= 0")
+        if self.after < 0:
+            raise ValueError("fault after must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of faults for one run (empty = normal operation)."""
+
+    faults: tuple[Fault, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @staticmethod
+    def parse(spec: str | None) -> "FaultPlan":
+        """Parse ``action:key=value,...[;action:...]`` into a plan."""
+        if not spec or not spec.strip():
+            return FaultPlan()
+        faults = []
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            action, _, argstr = part.partition(":")
+            action = action.strip()
+            kwargs: dict = {}
+            if argstr.strip():
+                for pair in argstr.split(","):
+                    key, eq, value = pair.partition("=")
+                    key = key.strip()
+                    if not eq:
+                        raise ValueError(f"bad fault argument {pair!r} "
+                                         f"in {part!r}")
+                    if key in ("worker", "after", "exitcode"):
+                        kwargs[key] = int(value)
+                    elif key == "seconds":
+                        kwargs[key] = float(value)
+                    elif key == "on":
+                        kwargs[key] = value.strip()
+                    else:
+                        raise ValueError(f"unknown fault key {key!r}")
+            if "worker" not in kwargs:
+                raise ValueError(f"fault {part!r} needs worker=<k>")
+            faults.append(Fault(action=action, **kwargs))
+        return FaultPlan(tuple(faults))
+
+    @staticmethod
+    def from_env() -> "FaultPlan":
+        return FaultPlan.parse(os.environ.get("PODS_FAULTS"))
+
+
+def resolve_plan(faults) -> FaultPlan:
+    """Coerce ``None`` / spec string / plan into a :class:`FaultPlan`.
+
+    ``None`` defers to the ``PODS_FAULTS`` environment variable so a
+    whole test process (or a chaos soak) can inject faults without
+    threading arguments through every call site.
+    """
+    if faults is None:
+        return FaultPlan.from_env()
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, str):
+        return FaultPlan.parse(faults)
+    raise ValueError(f"cannot build a FaultPlan from {type(faults).__name__}")
+
+
+class FaultInjector:
+    """Per-worker runtime that fires the plan's faults at their triggers.
+
+    Instantiated inside the worker process; ``fire`` is called from the
+    interpreter hot hooks, so the no-fault path is a single truthiness
+    check on an empty list.
+    """
+
+    def __init__(self, plan: FaultPlan, worker: int) -> None:
+        self._mine = [f for f in plan.faults if f.worker == worker]
+        self._counts = {event: 0 for event in _EVENTS}
+
+    def fire(self, event: str) -> None:
+        if not self._mine:
+            return
+        count = self._counts[event]
+        self._counts[event] = count + 1
+        for f in self._mine:
+            if f.on != event:
+                continue
+            if f.action == "delay":
+                if count >= f.after:
+                    time.sleep(f.seconds)
+                continue
+            if count != f.after:
+                continue
+            if f.action == "kill":
+                # Bypass interpreter cleanup and atexit — die like a
+                # segfaulting process would.
+                os._exit(f.exitcode)
+            elif f.action == "hang":
+                time.sleep(f.seconds)
+            elif f.action == "drop":
+                os._exit(0)

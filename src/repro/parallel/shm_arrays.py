@@ -75,7 +75,8 @@ class ShmArray:
         # Python's resource_tracker would unlink the segment when the
         # first worker that touched it exits, yanking it from under the
         # others (and the parent's final gather).  Ownership is explicit
-        # here — the parent unlinks in _cleanup_segments — so opt out.
+        # here — the parent unlinks via the run's ShmManifest — so opt
+        # out.
         try:
             from multiprocessing import resource_tracker
 
@@ -84,6 +85,13 @@ class ShmArray:
             pass
         self._flags = self.shm.buf[:total]
         self._vals = self.shm.buf[total:total + 8 * total]
+        # Telemetry counters, all process-local (each worker holds its
+        # own attachment): fed into per-worker WorkerTelemetry.
+        self.reads = 0
+        self.writes = 0
+        self.deferred_reads = 0
+        self.spin_wait_s = 0.0
+        self.max_spin_wait_s = 0.0
 
     def offset(self, indices: tuple[int, ...]) -> int:
         if len(indices) != len(self.dims):
@@ -97,6 +105,7 @@ class ShmArray:
 
     def write(self, indices: tuple[int, ...], value) -> None:
         off = self.offset(indices)
+        self.writes += 1
         if self._flags[off] != FLAG_ABSENT:
             raise SingleAssignmentViolation(0, off)
         base = off * 8
@@ -118,25 +127,44 @@ class ShmArray:
              timeout_s: float = 30.0):
         """I-structure read: spin until the element is present."""
         off = self.offset(indices)
+        self.reads += 1
         flag = self._flags[off]
         if flag == FLAG_ABSENT:
-            deadline = time.monotonic() + timeout_s
+            self.deferred_reads += 1
+            spin_start = time.monotonic()
+            deadline = spin_start + timeout_s
             pause = 1e-6
-            while True:
-                flag = self._flags[off]
-                if flag != FLAG_ABSENT:
-                    break
-                if time.monotonic() > deadline:
-                    raise ExecutionError(
-                        f"deferred read at offset {off} of {self.name} "
-                        "timed out (missing write -> deadlock)")
-                time.sleep(pause)
-                pause = min(pause * 2, 0.001)
+            try:
+                while True:
+                    flag = self._flags[off]
+                    if flag != FLAG_ABSENT:
+                        break
+                    if time.monotonic() > deadline:
+                        raise ExecutionError(
+                            f"deferred read at offset {off} of {self.name} "
+                            "timed out (missing write -> deadlock)")
+                    time.sleep(pause)
+                    pause = min(pause * 2, 0.001)
+            finally:
+                waited = time.monotonic() - spin_start
+                self.spin_wait_s += waited
+                if waited > self.max_spin_wait_s:
+                    self.max_spin_wait_s = waited
         base = off * 8
         if flag == FLAG_FLOAT:
             return _PACK.unpack_from(self._vals, base)[0]
         value = _PACK_INT.unpack_from(self._vals, base)[0]
         return bool(value) if flag == FLAG_BOOL else value
+
+    def stats(self) -> dict:
+        """This attachment's access counters (one worker's view)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "deferred_reads": self.deferred_reads,
+            "spin_wait_s": self.spin_wait_s,
+            "max_spin_wait_s": self.max_spin_wait_s,
+        }
 
     def snapshot(self) -> list:
         """Host-side copy (absent -> None); call after workers finish."""

@@ -1,0 +1,75 @@
+"""Range-Filter edge cases: descending loops and empty responsibility.
+
+The real-parallel workers feed ``filtered_range`` results straight into
+their loop bounds, so the empty-range encodings (immediately-false pairs
+for each direction) and the descending clamp are correctness-critical —
+a wrong pair silently double-executes or skips iterations.
+"""
+
+from repro.runtime.arrays import ArrayHeader
+
+
+class TestEmptyResponsibility:
+    def test_ascending_empty_pair_is_immediately_false(self):
+        # Only 2 rows for 4 PEs: the row starts land on PEs 0 and 2, so
+        # PEs 1 and 3 own none.
+        h = ArrayHeader(1, (2, 256), 32, 4)
+        for pe in (1, 3):
+            first, last = h.filtered_range(pe, 1, 2)
+            assert (first, last) == (1, 0)
+            assert first > last  # an ascending loop runs zero times
+
+    def test_descending_empty_pair_is_immediately_false(self):
+        h = ArrayHeader(1, (2, 256), 32, 4)
+        for pe in (1, 3):
+            first, last = h.filtered_range(pe, 2, 1, descending=True)
+            assert (first, last) == (0, 1)
+            assert first < last  # a downto loop runs zero times
+
+    def test_disjoint_bounds_empty_both_directions(self):
+        h = ArrayHeader(1, (6, 256), 32, 4)
+        # PE0 owns rows 1..2; the loop never visits them.
+        first, last = h.filtered_range(0, 4, 6)
+        assert first > last
+        first, last = h.filtered_range(0, 6, 4, descending=True)
+        assert first < last
+
+    def test_inner_dim_empty_responsibility(self):
+        # With the leading index fixed, an inner filter can be empty on
+        # PEs whose segment the pinned row never enters.
+        h = ArrayHeader(1, (4, 4), 1, 4)
+        hits = 0
+        for k in (1, 2, 3, 4):
+            for pe in range(4):
+                first, last = h.filtered_range(pe, 1, 4, fixed=(k,), dim=1)
+                if first > last:
+                    assert (first, last) == (1, 0)
+                else:
+                    hits += last - first + 1
+        assert hits == 16  # non-empty filters cover every (k, j) once
+
+
+class TestDescendingClamp:
+    def test_descending_ranges_partition_the_loop(self):
+        h = ArrayHeader(1, (8, 256), 32, 4)
+        seen = []
+        for pe in range(4):
+            first, last = h.filtered_range(pe, 8, 1, descending=True)
+            i = first
+            while i >= last:
+                seen.append(i)
+                i -= 1
+        assert sorted(seen) == list(range(1, 9))
+
+    def test_descending_respects_narrow_bounds(self):
+        h = ArrayHeader(1, (8, 256), 32, 4)
+        # PE1 is responsible for rows 3..4; loop runs 4 downto 2.
+        assert h.responsible_rows(1) == (3, 4)
+        assert h.filtered_range(1, 4, 2, descending=True) == (4, 3)
+        # Loop 3 downto 3 intersects only row 3.
+        assert h.filtered_range(1, 3, 3, descending=True) == (3, 3)
+
+    def test_single_pe_descending_is_identity(self):
+        h = ArrayHeader(1, (8, 8), 32, 1)
+        assert h.filtered_range(0, 8, 1, descending=True) == (8, 1)
+        assert h.filtered_range(0, 5, 2, descending=True) == (5, 2)
