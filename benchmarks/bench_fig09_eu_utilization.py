@@ -14,14 +14,19 @@ from repro.bench.report import render_series_chart, render_table
 SIZES = [16, 32, 64]
 
 
-def test_fig9_eu_utilization(benchmark, sweeper, simple_program):
+def test_fig9_eu_utilization(benchmark, obs_sweeper, simple_program):
     util: dict[int, dict[int, float]] = {}
     for n in SIZES:
         util[n] = {}
         for pes in pe_grid(n):
-            point = sweeper.run(simple_program, simple_args(n), pes,
-                                key="simple")
+            point = obs_sweeper.run(simple_program, simple_args(n), pes,
+                                    key="simple")
             util[n][pes] = point.utilization["EU"]
+            # EU utilization is derived from the recorded busy-interval
+            # timeline; it must match the accumulator within 0.1%.
+            ref = point.extras["utilization_aggregate"]["EU"]
+            assert abs(util[n][pes] - ref) <= max(abs(ref), 1e-12) * 1e-3, (
+                f"EU at {n}x{n}/{pes} PEs: {util[n][pes]} vs {ref}")
 
     rows = []
     for pes in PE_GRID:
@@ -35,7 +40,8 @@ def test_fig9_eu_utilization(benchmark, sweeper, simple_program):
         {f"{n}x{n}": [util[n].get(p) for p in PE_GRID] for n in SIZES},
         y_label="EU utilization (fraction) vs PEs",
     )
-    report = ("Figure 9 - Execution Unit utilization for SIMPLE\n\n"
+    report = ("Figure 9 - Execution Unit utilization for SIMPLE\n"
+              "(derived from busy-interval timelines)\n\n"
               + table + "\n\n" + chart)
     save_report("fig09_eu_utilization.txt", report)
     print("\n" + report)
@@ -51,6 +57,7 @@ def test_fig9_eu_utilization(benchmark, sweeper, simple_program):
     assert util[64][1] > 0.5
 
     benchmark.pedantic(
-        lambda: sweeper.run(simple_program, simple_args(16), 8, key="simple"),
+        lambda: obs_sweeper.run(simple_program, simple_args(16), 8,
+                                key="simple"),
         rounds=1, iterations=1,
     )

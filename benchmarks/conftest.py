@@ -29,6 +29,15 @@ def sweeper() -> Sweeper:
 
 
 @pytest.fixture(scope="session")
+def obs_sweeper() -> Sweeper:
+    """Sweeper with the observability layer on: utilizations are derived
+    from per-unit busy-interval timelines (used by Figures 8 and 9).
+    Figure 10 stays on the plain sweeper so its wall time measures the
+    obs-disabled configuration."""
+    return Sweeper(observe=True)
+
+
+@pytest.fixture(scope="session")
 def simple_program():
     return compile_simple()
 

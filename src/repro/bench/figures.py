@@ -37,8 +37,12 @@ def _simple_program():
 
 def figure8(pe_counts: tuple = (1, 2, 4, 8), size: int = 16,
             steps: int = 1, sweeper: Sweeper | None = None) -> Figure:
-    """Functional-unit balance (paper Figure 8), reduced scale."""
-    sweeper = sweeper or Sweeper()
+    """Functional-unit balance (paper Figure 8), reduced scale.
+
+    Utilizations are derived from per-unit busy-interval timelines
+    (``repro.obs``) rather than the simulator's running accumulators.
+    """
+    sweeper = sweeper or Sweeper(observe=True)
     program = _simple_program()
     rows = []
     data: dict = {}
@@ -54,8 +58,12 @@ def figure8(pe_counts: tuple = (1, 2, 4, 8), size: int = 16,
 
 def figure9(pe_counts: tuple = (1, 2, 4, 8), sizes: tuple = (16, 24),
             steps: int = 1, sweeper: Sweeper | None = None) -> Figure:
-    """EU utilization by problem size (paper Figure 9), reduced scale."""
-    sweeper = sweeper or Sweeper()
+    """EU utilization by problem size (paper Figure 9), reduced scale.
+
+    EU utilization is derived from the recorded EU busy-interval
+    timeline (``repro.obs``), not the busy-time accumulator.
+    """
+    sweeper = sweeper or Sweeper(observe=True)
     program = _simple_program()
     data: dict = {n: {} for n in sizes}
     for n in sizes:

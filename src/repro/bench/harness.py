@@ -11,7 +11,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.api import Program
-from repro.common.config import MachineConfig, SimConfig
+from repro.common.config import MachineConfig, ObsConfig, SimConfig
 from repro.sim.stats import UNITS
 
 # Full paper scale is opt-in: the default grid keeps `pytest benchmarks/`
@@ -37,10 +37,20 @@ class Point:
 
 
 class Sweeper:
-    """Runs and memoizes PODS simulations for the bench modules."""
+    """Runs and memoizes PODS simulations for the bench modules.
 
-    def __init__(self) -> None:
+    With ``observe=True`` every simulation runs with the observability
+    layer on (metrics registry + busy-interval timelines) and each
+    Point's ``utilization`` is *derived* from the recorded busy
+    intervals — the accumulator-based numbers stay available in
+    ``extras["utilization_aggregate"]`` for differential checks.  The
+    default stays off so time-critical sweeps (Figure 10's speed-up
+    curves) measure the zero-cost-when-disabled configuration.
+    """
+
+    def __init__(self, observe: bool = False) -> None:
         self._cache: dict[tuple, Point] = {}
+        self.observe = observe
 
     def run(self, program: Program, args: tuple, pes: int,
             key: str = "", **machine_kwargs) -> Point:
@@ -48,18 +58,31 @@ class Sweeper:
                      tuple(sorted(machine_kwargs.items())))
         if cache_key in self._cache:
             return self._cache[cache_key]
-        config = SimConfig(machine=MachineConfig(num_pes=pes, **machine_kwargs))
+        obs = ObsConfig(metrics=self.observe, timelines=self.observe)
+        config = SimConfig(machine=MachineConfig(num_pes=pes, **machine_kwargs),
+                           obs=obs)
         result = program.run_pods(args, num_pes=pes, config=config)
         stats = result.stats
+        if self.observe:
+            utilization = {u: stats.timeline_utilization(u) for u in UNITS}
+            extras = {
+                "utilization_aggregate":
+                    {u: stats.utilization(u) for u in UNITS},
+                "registry": stats.registry,
+            }
+        else:
+            utilization = {u: stats.utilization(u) for u in UNITS}
+            extras = {}
         point = Point(
             n=args[0] if args else 0,
             pes=pes,
             time_us=result.finish_time_us,
-            utilization={u: stats.utilization(u) for u in UNITS},
+            utilization=utilization,
             value=result.value if isinstance(result.value, (int, float)) else 0.0,
             instructions=stats.instructions,
             remote_reads=stats.remote_reads,
             context_switches=stats.context_switches,
+            extras=extras,
         )
         self._cache[cache_key] = point
         return point

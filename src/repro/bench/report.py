@@ -81,5 +81,26 @@ def render_series_chart(x_values: Sequence, series: dict[str, Sequence[float]],
     return "\n".join(lines)
 
 
+def render_metrics_table(registry) -> str:
+    """Render a :class:`repro.obs.MetricsRegistry` as an aligned table.
+
+    Rows come out in the registry's deterministic order (kind, name,
+    labels); histograms render their summary statistics inline.
+    """
+    rows = []
+    for row in registry.rows():
+        labels = ";".join(f"{k}={v}" for k, v in row.labels)
+        if row.kind == "histogram":
+            value = ("count={count} sum={sum:g} min={min:g} "
+                     "max={max:g} mean={mean:g}").format(**row.value)
+        elif isinstance(row.value, float) and not row.value.is_integer():
+            value = f"{row.value:.6g}"
+        else:
+            value = f"{row.value:g}" if isinstance(row.value, float) \
+                else str(row.value)
+        rows.append([row.kind, row.name, labels, value])
+    return render_table(["kind", "metric", "labels", "value"], rows)
+
+
 def percent(value: float) -> str:
     return f"{value * 100:.1f}%"

@@ -106,29 +106,62 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.common.config import MachineConfig, SimConfig
+    from repro.common.config import MachineConfig, ObsConfig, SimConfig
+    from repro.obs.export import filter_events, perfetto_json
     from repro.sim.machine import Machine
 
     program = _load(args.file)
     call_args = tuple(_parse_value(a) for a in (args.args or []))
-    config = SimConfig(machine=MachineConfig(num_pes=args.pes), trace=True)
+    obs = ObsConfig(metrics=True, timelines=True, trace=True)
+    config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs)
     machine = Machine(program.pods, config)
     result = machine.run(call_args)
-    print(f"value: {result.value}")
-    print(f"modeled time: {result.finish_time_s:.6f} s\n")
-    print(machine.tracer.summary())
-    print()
-    from repro.sim.trace import timeline
+    tracer = machine.tracer
 
-    print(timeline(machine.tracer, args.pes, result.finish_time_us))
-    print()
-    events = machine.tracer.events
-    if args.kind:
-        events = [e for e in events if e.kind == args.kind]
-    for event in events[:args.limit]:
-        print(event.format())
-    if len(events) > args.limit:
-        print(f"... {len(events) - args.limit} more events")
+    if args.format == "perfetto":
+        # Only the JSON goes to stdout: identical runs must produce
+        # byte-identical output (anything else lands on stderr).
+        text = perfetto_json(result.stats.timelines, tracer.events,
+                             num_pes=args.pes, pe=args.pe,
+                             since_us=args.since_us)
+        if tracer.truncated:
+            print(tracer.drop_warning(), file=sys.stderr)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+
+    lines = [f"value: {result.value}",
+             f"modeled time: {result.finish_time_s:.6f} s", ""]
+    if tracer.truncated:
+        lines.insert(0, tracer.drop_warning())
+    lines.append(tracer.summary())
+
+    if args.format == "summary":
+        from repro.bench.report import render_metrics_table
+
+        if result.stats.registry is not None:
+            lines += ["", render_metrics_table(result.stats.registry)]
+    else:  # text
+        from repro.sim.trace import timeline
+
+        lines += ["", timeline(tracer, args.pes, result.finish_time_us), ""]
+        events = filter_events(tracer.events, pe=args.pe,
+                               since_us=args.since_us, kind=args.kind)
+        lines += [event.format() for event in events[:args.limit]]
+        if len(events) > args.limit:
+            lines.append(f"... {len(events) - args.limit} more events")
+
+    text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -207,14 +240,26 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--optimize", action="store_true")
     comp.set_defaults(func=_cmd_compile)
 
-    trace = sub.add_parser("trace", help="run with event tracing")
+    trace = sub.add_parser(
+        "trace", help="run with event tracing and observability")
     trace.add_argument("file")
     trace.add_argument("--args", nargs="*", help="main() arguments")
     trace.add_argument("--pes", type=int, default=2)
+    trace.add_argument("--format", default="text",
+                       choices=["text", "summary", "perfetto"],
+                       help="text = event listing, summary = counts + "
+                       "metrics table, perfetto = trace_event JSON for "
+                       "ui.perfetto.dev (default text)")
+    trace.add_argument("--pe", type=int, default=None,
+                       help="restrict output to one PE")
+    trace.add_argument("--since-us", type=float, default=0.0,
+                       help="drop events before this simulated time")
     trace.add_argument("--limit", type=int, default=40,
-                       help="events to print (default 40)")
+                       help="events to print in text format (default 40)")
     trace.add_argument("--kind", help="filter by event kind "
                        "(frame-create, block, message, ...)")
+    trace.add_argument("-o", "--output",
+                       help="write to a file instead of stdout")
     trace.set_defaults(func=_cmd_trace)
 
     fmt = sub.add_parser("format", help="pretty-print a program")

@@ -114,6 +114,45 @@ class ParallelConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability knobs (see :mod:`repro.obs`).
+
+    Everything defaults to off; a run with the default ObsConfig pays
+    one ``is None`` check per simulator event and nothing else.
+
+    Attributes:
+        metrics: Publish a :class:`repro.obs.MetricsRegistry` on the
+            run's :class:`repro.sim.stats.RunStats`.
+        timelines: Record per-(PE, unit) busy-interval timelines, from
+            which unit utilization (Figures 8/9) is derived and which
+            the Perfetto exporter renders one track per PE x unit.
+        trace: Record the structured event trace (same recorder
+            ``SimConfig.trace`` enables; either flag turns it on).
+        trace_limit: Maximum retained trace events.
+        trace_mode: What happens at the limit — ``"drop"`` stops
+            recording (keeps the oldest events), ``"ring"`` keeps the
+            newest by evicting the oldest.  Both count ``dropped``.
+    """
+
+    metrics: bool = False
+    timelines: bool = False
+    trace: bool = False
+    trace_limit: int = 200_000
+    trace_mode: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.trace_limit < 1:
+            raise ValueError(
+                f"trace_limit must be >= 1, got {self.trace_limit}")
+        if self.trace_mode not in ("drop", "ring"):
+            raise ValueError(f"unknown trace_mode {self.trace_mode!r}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics or self.timelines or self.trace
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Dynamic knobs for one simulation run.
 
@@ -121,7 +160,9 @@ class SimConfig:
         machine: The machine being simulated.
         max_events: Safety valve against runaway programs; the simulator
             aborts with a diagnostic once this many events have fired.
-        trace: Emit a per-event trace (very verbose; tests only).
+        trace: Emit a per-event trace (shorthand for ``obs.trace``).
+        obs: Observability configuration (metrics registry, busy
+            timelines, trace buffer policy) — see :class:`ObsConfig`.
         jitter_seed: When not None, adds deterministic pseudo-random delays
             to message deliveries.  Used by the Church-Rosser property
             tests: results must not change, only timings.
@@ -131,6 +172,7 @@ class SimConfig:
     machine: MachineConfig = field(default_factory=MachineConfig)
     max_events: int = 200_000_000
     trace: bool = False
+    obs: ObsConfig = field(default_factory=ObsConfig)
     jitter_seed: int | None = None
     jitter_max_us: float = 50.0
 

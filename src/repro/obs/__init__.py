@@ -1,0 +1,35 @@
+"""Unified observability: metrics, busy-interval timelines, exporters.
+
+``repro.obs`` is the one instrumentation pipeline shared by the
+instruction-level simulator and the real-parallel backend.  Three data
+models, all deterministic and all zero-cost when disabled:
+
+* :class:`MetricsRegistry` — labelled counters / gauges / histograms.
+  The simulator publishes its per-PE unit statistics into a registry at
+  the end of a run; the multiprocessing backend publishes the per-worker
+  telemetry into a registry with the same metric names, which is what
+  makes cross-backend differential tests a one-liner.
+* :class:`TimelineStore` — per-(PE, unit) busy *intervals* (start/stop
+  spans, not just totals).  Figure 8's unit balance and Figure 9's EU
+  utilization are derived from these timelines rather than separately
+  accumulated.
+* Exporters (:mod:`repro.obs.export`) — Chrome/Perfetto ``trace_event``
+  JSON (one track per PE x unit, SP lifecycle as flow events), flat
+  CSV/JSONL metric dumps, and plain text.
+
+Recording is guarded by :class:`repro.common.config.ObsConfig`; with
+everything off the simulator pays one ``is None`` check per event.
+"""
+
+from repro.obs.registry import MetricsRegistry, MetricRow
+from repro.obs.timeline import Span, TimelineStore, UnitTimeline
+from repro.obs.recorder import ObsRecorder
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricRow",
+    "ObsRecorder",
+    "Span",
+    "TimelineStore",
+    "UnitTimeline",
+]

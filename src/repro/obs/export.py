@@ -1,0 +1,173 @@
+"""Exporters: Perfetto ``trace_event`` JSON, CSV/JSONL metrics, text.
+
+The Perfetto exporter emits the classic Chrome trace_event format
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+loadable in ``ui.perfetto.dev`` or ``chrome://tracing``:
+
+* one *process* per PE, one *thread* (track) per PE x unit, named via
+  ``M`` metadata events;
+* every busy interval of a unit as a complete ``X`` event on its track;
+* SP lifecycle as async ``b``/``e`` spans on a per-PE "SP" track plus
+  ``s``/``f`` flow events keyed by frame uid — Perfetto draws the arrow
+  from each SP's creation to its termination;
+* other trace events (token matches, messages, blocks) as instants.
+
+Output is deterministic: identical runs produce byte-identical JSON, so
+exports are directly diffable and usable as golden fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.sim.stats import UNITS
+
+SP_TRACK = len(UNITS)  # tid of the per-PE SP-lifecycle track
+_UNIT_TID = {unit: tid for tid, unit in enumerate(UNITS)}
+
+
+def filter_events(events: Iterable, pe: int | None = None,
+                  since_us: float = 0.0, kind: str | None = None) -> list:
+    """Shared ``--pe`` / ``--since-us`` / ``--kind`` event filtering."""
+    out = []
+    for e in events:
+        if pe is not None and e.pe != pe:
+            continue
+        if e.time_us < since_us:
+            continue
+        if kind is not None and e.kind != kind:
+            continue
+        out.append(e)
+    return out
+
+
+def perfetto_trace(timelines=None, events: Iterable = (),
+                   num_pes: int = 1, pe: int | None = None,
+                   since_us: float = 0.0) -> dict:
+    """Build the trace_event JSON object (see module docstring)."""
+    pes = [pe] if pe is not None else list(range(num_pes))
+    out: list[dict] = []
+    for pid in pes:
+        out.append({"ph": "M", "name": "process_name", "pid": pid,
+                    "tid": 0, "args": {"name": f"PE{pid}"}})
+        for unit, tid in _UNIT_TID.items():
+            out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": tid, "args": {"name": f"PE{pid} {unit}"}})
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": SP_TRACK, "args": {"name": f"PE{pid} SP"}})
+
+    if timelines is not None:
+        for pid, unit, line in timelines.items():
+            if pe is not None and pid != pe:
+                continue
+            tid = _UNIT_TID.get(unit, SP_TRACK)
+            for start, end in zip(line.starts, line.ends):
+                if end < since_us:
+                    continue
+                out.append({"ph": "X", "name": unit, "cat": "unit",
+                            "pid": pid, "tid": tid, "ts": start,
+                            "dur": end - start})
+
+    for e in filter_events(events, pe=pe, since_us=since_us):
+        base = {"pid": e.pe, "ts": e.time_us}
+        if e.kind == "frame-create" and e.sp is not None:
+            out.append({**base, "ph": "b", "cat": "sp", "id": e.sp,
+                        "tid": SP_TRACK, "name": f"SP {e.detail}"})
+            out.append({**base, "ph": "s", "cat": "sp-flow", "id": e.sp,
+                        "tid": SP_TRACK, "name": "sp-life"})
+        elif e.kind == "frame-end" and e.sp is not None:
+            out.append({**base, "ph": "e", "cat": "sp", "id": e.sp,
+                        "tid": SP_TRACK, "name": f"SP {e.detail}"})
+            out.append({**base, "ph": "f", "bp": "e", "cat": "sp-flow",
+                        "id": e.sp, "tid": SP_TRACK, "name": "sp-life"})
+        else:
+            tid = _UNIT_TID.get(e.unit, SP_TRACK)
+            out.append({**base, "ph": "i", "s": "t", "cat": "event",
+                        "tid": tid, "name": e.kind,
+                        "args": {"detail": e.detail}})
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def perfetto_json(timelines=None, events: Iterable = (), num_pes: int = 1,
+                  pe: int | None = None, since_us: float = 0.0) -> str:
+    """Deterministic (byte-stable) JSON encoding of the trace."""
+    return json.dumps(
+        perfetto_trace(timelines, events, num_pes, pe=pe,
+                       since_us=since_us),
+        sort_keys=True, separators=(",", ":"))
+
+
+# -- validation (used by tests and the CI smoke job) --------------------
+
+_PH_NEEDS_ID = frozenset("besf")
+
+
+def validate_trace_events(obj) -> list[str]:
+    """Structural check against the trace_event format.
+
+    Returns a list of problems; an empty list means the object is a
+    well-formed trace both Perfetto and chrome://tracing will load.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    open_flows: set = set()
+    for i, e in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(e, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            problems.append(f"{where}: missing/bad 'ph'")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                problems.append(f"{where}: missing/bad '{key}'")
+        if not isinstance(e.get("name"), str):
+            problems.append(f"{where}: missing/bad 'name'")
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name",
+                                     "process_sort_index",
+                                     "thread_sort_index"):
+                problems.append(f"{where}: unknown metadata {e.get('name')!r}")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: missing/bad 'ts'")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0")
+        elif ph in _PH_NEEDS_ID:
+            if "id" not in e:
+                problems.append(f"{where}: '{ph}' event needs an 'id'")
+            elif e.get("cat") == "sp-flow":
+                fid = e["id"]
+                if ph == "s":
+                    open_flows.add(fid)
+                elif ph == "f" and fid not in open_flows:
+                    problems.append(
+                        f"{where}: flow finish id={fid} without a start")
+        elif ph not in ("i", "I", "B", "E", "C", "t"):
+            problems.append(f"{where}: unsupported ph {ph!r}")
+    return problems
+
+
+# -- flat metric/trace text ---------------------------------------------
+
+def metrics_jsonl(registry) -> str:
+    return registry.to_jsonl()
+
+
+def metrics_csv(registry) -> str:
+    return registry.to_csv()
+
+
+def trace_golden(events: Iterable) -> str:
+    """The stable-field projection used by golden-trace fixtures."""
+    return "\n".join(e.golden_line() for e in events)

@@ -1,0 +1,104 @@
+"""The simulator-side recording front end of the observability layer.
+
+A :class:`ObsRecorder` is attached to a :class:`repro.sim.machine.Machine`
+when any :class:`repro.common.config.ObsConfig` feature is on.  The event
+loop feeds it busy spans, Range-Filter decisions and array page touches;
+at the end of the run it folds everything — including the per-PE unit
+counters — into one :class:`MetricsRegistry` whose metric names are
+shared with the real-parallel backend (see
+:func:`repro.parallel.executor.telemetry_registry`), so cross-backend
+differential tests compare registry rows, not bespoke attributes.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import TimelineStore
+
+
+class ObsRecorder:
+    """Collects spans / RF decisions / page touches during one run."""
+
+    __slots__ = ("timelines", "rf_spans", "pages_touched", "metrics")
+
+    def __init__(self, num_pes: int, timelines: bool = True,
+                 metrics: bool = True) -> None:
+        self.timelines = TimelineStore(num_pes) if timelines else None
+        self.metrics = metrics
+        # (pe, block, first, last, items) -> execution count
+        self.rf_spans: dict[tuple, int] = {}
+        # array id -> set of page indices with at least one element written
+        self.pages_touched: dict[int, set[int]] = {}
+
+    # -- hot-path hooks (machine event loop) ----------------------------
+
+    def span(self, pe: int, unit: str, start: float, end: float) -> None:
+        if self.timelines is not None:
+            self.timelines.span(pe, unit, start, end)
+
+    def rf(self, pe: int, block: str, first: int, last: int,
+           items: int) -> None:
+        key = (pe, block, first, last, items)
+        self.rf_spans[key] = self.rf_spans.get(key, 0) + 1
+
+    def page_touch(self, array_id: int, page: int) -> None:
+        pages = self.pages_touched.get(array_id)
+        if pages is None:
+            pages = self.pages_touched[array_id] = set()
+        pages.add(page)
+
+    # -- end-of-run publication -----------------------------------------
+
+    def build_registry(self, pe_stats: list, units: tuple,
+                       finish_us: float) -> MetricsRegistry:
+        """Fold counters + recorded decisions into one registry.
+
+        Metric names prefixed ``sim.`` are simulator-model quantities;
+        the un-prefixed ``rf.*`` / ``array.*`` families are *semantic*
+        (they depend only on the program, not on the execution model)
+        and are published identically by the parallel backend.
+        """
+        reg = MetricsRegistry()
+        reg.set_gauge("sim.finish_time_us", finish_us)
+        for pid, s in enumerate(pe_stats):
+            pe = str(pid)
+            reg.inc("sim.instructions", s.instructions, pe=pe)
+            reg.inc("sim.context_switches", s.context_switches, pe=pe)
+            reg.inc("sim.tokens_matched", s.tokens_matched, pe=pe)
+            reg.inc("sim.tokens_sent", s.tokens_sent_local, pe=pe,
+                    scope="local")
+            reg.inc("sim.tokens_sent", s.tokens_sent_remote, pe=pe,
+                    scope="remote")
+            reg.inc("sim.frames", s.frames_created, pe=pe, op="create")
+            reg.inc("sim.frames", s.frames_destroyed, pe=pe, op="destroy")
+            reg.inc("sim.cache", s.cache_hits, pe=pe, outcome="hit")
+            reg.inc("sim.cache", s.cache_misses, pe=pe, outcome="miss")
+            reg.inc("sim.pages_sent", s.pages_sent, pe=pe)
+            reg.inc("sim.messages_sent", s.messages_sent, pe=pe)
+            reg.inc("sim.bytes_sent", s.bytes_sent, pe=pe)
+            reg.inc("array.element_reads", s.array_reads_local, pe=pe,
+                    scope="local")
+            reg.inc("array.element_reads", s.array_reads_remote, pe=pe,
+                    scope="remote")
+            # A forwarded remote write lands as a local write at the
+            # owner, so the local counter alone is the semantic
+            # element-write count (each element written exactly once).
+            reg.inc("array.element_writes", s.array_writes_local, pe=pe)
+            reg.inc("array.write_forwards", s.array_writes_remote, pe=pe)
+            reg.inc("array.deferred_reads",
+                    s.deferred_local + s.deferred_remote, pe=pe)
+            for unit in units:
+                reg.set_gauge("sim.unit_busy_us", s.busy[unit], pe=pe,
+                              unit=unit)
+                if finish_us > 0:
+                    reg.set_gauge("sim.unit_utilization",
+                                  s.busy[unit] / finish_us, pe=pe,
+                                  unit=unit)
+        for (pe, block, first, last, items), count in \
+                sorted(self.rf_spans.items()):
+            reg.inc("rf.subrange", count, pe=pe, block=block,
+                    first=first, last=last)
+            reg.inc("rf.items", items * count, pe=pe)
+        for aid, pages in sorted(self.pages_touched.items()):
+            reg.set_gauge("array.pages_touched", len(pages), array=aid)
+        return reg

@@ -1,0 +1,180 @@
+"""A labelled metrics registry shared by every backend.
+
+The registry is a deliberately small, dependency-free take on the
+Prometheus data model: three instrument kinds (counter, gauge,
+histogram), explicit string labels (``pe``, ``unit``, ``worker``, ...),
+and deterministic iteration — rows always come back sorted by
+(kind, name, labels), so two identical runs dump byte-identical CSV and
+JSONL.  That determinism is what lets metric dumps double as golden test
+fixtures.
+
+Label values are stringified on the way in; a metric's identity is the
+pair ``(name, frozen labels)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+# Geometric histogram bounds: decades split 1/2/5, wide enough for both
+# microsecond timings and element counts.
+DEFAULT_BOUNDS = tuple(
+    m * 10.0 ** e for e in range(-3, 7) for m in (1.0, 2.0, 5.0)
+)
+
+
+def _labelkey(labels: dict) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Histogram:
+    """Counts per bucket plus the usual summary moments."""
+
+    bounds: tuple = DEFAULT_BOUNDS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One (kind, name, labels) -> value row of a registry dump."""
+
+    kind: str
+    name: str
+    labels: tuple
+    value: object
+
+    def labels_dict(self) -> dict:
+        return dict(self.labels)
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with explicit labels."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._hists: dict[tuple, Histogram] = {}
+
+    # -- writing --------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        key = (name, _labelkey(labels))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self._gauges[(name, _labelkey(labels))] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = (name, _labelkey(labels))
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = Histogram()
+        hist.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters add, gauges
+        overwrite, histograms accumulate)."""
+        for (name, lk), v in other._counters.items():
+            self._counters[(name, lk)] = self._counters.get((name, lk), 0) + v
+        self._gauges.update(other._gauges)
+        for (name, lk), hist in other._hists.items():
+            mine = self._hists.get((name, lk))
+            if mine is None:
+                self._hists[(name, lk)] = hist
+            else:
+                mine.count += hist.count
+                mine.total += hist.total
+                mine.min = min(mine.min, hist.min)
+                mine.max = max(mine.max, hist.max)
+                for i, c in enumerate(hist.counts):
+                    mine.counts[i] += c
+
+    # -- reading --------------------------------------------------------
+
+    def value(self, name: str, **labels):
+        """Counter or gauge value for an exact label set (0 if absent)."""
+        key = (name, _labelkey(labels))
+        if key in self._counters:
+            return self._counters[key]
+        return self._gauges.get(key, 0)
+
+    def total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def select(self, name: str) -> list[MetricRow]:
+        """Every row of one metric, deterministically ordered."""
+        return [row for row in self.rows() if row.name == name]
+
+    def rows(self) -> list[MetricRow]:
+        """Every row of the registry, sorted by (kind, name, labels)."""
+        out: list[MetricRow] = []
+        for (name, lk), v in self._counters.items():
+            out.append(MetricRow("counter", name, lk, v))
+        for (name, lk), v in self._gauges.items():
+            out.append(MetricRow("gauge", name, lk, v))
+        for (name, lk), hist in self._hists.items():
+            out.append(MetricRow("histogram", name, lk, hist.summary()))
+        out.sort(key=lambda r: (r.kind, r.name, r.labels))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._hists)
+
+    # -- dumps ----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per row; byte-stable across identical runs."""
+        lines = []
+        for row in self.rows():
+            lines.append(json.dumps(
+                {"kind": row.kind, "name": row.name,
+                 "labels": dict(row.labels), "value": row.value},
+                sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Flat ``kind,name,labels,value`` dump (labels as k=v;k=v)."""
+        lines = ["kind,name,labels,value"]
+        for row in self.rows():
+            labels = ";".join(f"{k}={v}" for k, v in row.labels)
+            value = (json.dumps(row.value, sort_keys=True)
+                     if isinstance(row.value, dict) else row.value)
+            lines.append(f"{row.kind},{row.name},{labels},{value}")
+        return "\n".join(lines)

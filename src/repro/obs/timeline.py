@@ -1,0 +1,115 @@
+"""Per-unit busy-interval timelines.
+
+The simulator's event loop reports every interval a functional unit is
+occupied (``span(pe, unit, start, end)``); adjacent intervals coalesce,
+so a saturated unit costs one span, not one per service.  Utilization —
+the paper's "fraction of the time a given facility is busy" — is then a
+*derivation* over the spans rather than a separately maintained
+accumulator, and the same spans feed the Perfetto exporter one track per
+PE x unit.
+
+Spans arrive in nondecreasing start order and never overlap within one
+(pe, unit) — both properties fall out of the sequential-server model
+(each unit's next span starts at or after its previous one finished).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Two spans closer than this (us) are the same busy interval.
+_COALESCE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Span:
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class UnitTimeline:
+    """Busy intervals of one unit on one PE, coalesced, in time order."""
+
+    __slots__ = ("starts", "ends", "busy_us")
+
+    def __init__(self) -> None:
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+        self.busy_us = 0.0
+
+    def add(self, start: float, end: float) -> None:
+        if end <= start:
+            return
+        self.busy_us += end - start
+        if self.ends and start - self.ends[-1] <= _COALESCE_EPS:
+            if end > self.ends[-1]:
+                self.ends[-1] = end
+            return
+        self.starts.append(start)
+        self.ends.append(end)
+
+    def spans(self) -> list[Span]:
+        return [Span(s, e) for s, e in zip(self.starts, self.ends)]
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def busy_between(self, since: float, until: float) -> float:
+        """Busy time overlapping the window [since, until]."""
+        total = 0.0
+        for s, e in zip(self.starts, self.ends):
+            lo = max(s, since)
+            hi = min(e, until)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+
+class TimelineStore:
+    """All (pe, unit) timelines of one run."""
+
+    def __init__(self, num_pes: int) -> None:
+        self.num_pes = num_pes
+        self._lines: dict[tuple[int, str], UnitTimeline] = {}
+
+    def span(self, pe: int, unit: str, start: float, end: float) -> None:
+        line = self._lines.get((pe, unit))
+        if line is None:
+            line = self._lines[(pe, unit)] = UnitTimeline()
+        line.add(start, end)
+
+    def line(self, pe: int, unit: str) -> UnitTimeline:
+        return self._lines.get((pe, unit)) or UnitTimeline()
+
+    def units(self) -> list[str]:
+        return sorted({unit for _, unit in self._lines})
+
+    def items(self) -> list[tuple[int, str, UnitTimeline]]:
+        """Deterministic (pe, unit, timeline) iteration."""
+        return [(pe, unit, line)
+                for (pe, unit), line in sorted(self._lines.items())]
+
+    # -- derivations ----------------------------------------------------
+
+    def busy(self, unit: str, pe: int | None = None) -> float:
+        """Total busy time of ``unit`` (one PE, or summed over all)."""
+        if pe is not None:
+            return self.line(pe, unit).busy_us
+        return sum(line.busy_us for (p, u), line in self._lines.items()
+                   if u == unit)
+
+    def utilization(self, unit: str, finish_us: float,
+                    pe: int | None = None) -> float:
+        """Busy fraction derived from the spans (Figure 8/9 numbers)."""
+        if finish_us <= 0:
+            return 0.0
+        if pe is not None:
+            return self.busy(unit, pe) / finish_us
+        return self.busy(unit) / (finish_us * self.num_pes)
+
+    def span_count(self) -> int:
+        return sum(len(line) for line in self._lines.values())

@@ -63,10 +63,13 @@ class WorkerTelemetry:
     deferred_reads: int = 0
     spin_wait_s: float = 0.0
     max_spin_wait_s: float = 0.0
-    # (loop block, first, last, times executed) — an inner-loop RF runs
-    # once per enclosing iteration, hence the count.
-    rf_subranges: list[tuple[str, int, int, int]] = field(
+    # (loop block, first, last, iteration items, times executed) — an
+    # inner-loop RF runs once per enclosing iteration, hence the count.
+    rf_subranges: list[tuple[str, int, int, int, int]] = field(
         default_factory=list)
+    # shared array name -> page indices this worker wrote at least one
+    # element of (page grain as in MachineConfig.page_size)
+    pages_touched: dict[str, list[int]] = field(default_factory=dict)
 
     @classmethod
     def from_dict(cls, worker: int, d: dict) -> "WorkerTelemetry":
@@ -79,7 +82,45 @@ class WorkerTelemetry:
             spin_wait_s=d.get("spin_wait_s", 0.0),
             max_spin_wait_s=d.get("max_spin_wait_s", 0.0),
             rf_subranges=[tuple(r) for r in d.get("rf_subranges", [])],
+            pages_touched={k: list(v)
+                           for k, v in d.get("pages_touched", {}).items()},
         )
+
+
+def telemetry_registry(worker_stats: list[WorkerTelemetry]) -> "MetricsRegistry":
+    """Fold per-worker telemetry into one :class:`MetricsRegistry`.
+
+    The semantic metric families (``rf.*``, ``array.*``) use the same
+    names and label shapes as the simulator's registry (see
+    :meth:`repro.obs.recorder.ObsRecorder.build_registry`), so a
+    differential test can assert that e.g. Range-Filter subranges agree
+    between backends by comparing registry rows directly.  Workers map
+    onto the ``pe`` label — the backend's wall-clock counterpart.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    reg = MetricsRegistry()
+    pages: dict[str, set[int]] = {}
+    for t in worker_stats:
+        pe = str(t.worker)
+        reg.set_gauge("par.wall_time_s", t.wall_time_s, pe=pe)
+        reg.inc("array.element_reads", t.shared_reads, pe=pe, scope="shared")
+        reg.inc("array.element_writes", t.shared_writes, pe=pe)
+        reg.inc("array.deferred_reads", t.deferred_reads, pe=pe)
+        reg.observe("par.spin_wait_s", t.spin_wait_s, pe=pe)
+        reg.set_gauge("par.max_spin_wait_s", t.max_spin_wait_s, pe=pe)
+        for name, first, last, items, count in t.rf_subranges:
+            reg.inc("rf.subrange", count, pe=pe, block=name,
+                    first=first, last=last)
+            reg.inc("rf.items", items * count, pe=pe)
+        for name, touched in t.pages_touched.items():
+            pages.setdefault(name, set()).update(touched)
+    for i, name in enumerate(sorted(pages)):
+        # Shared segments allocate in a replicated, deterministic order;
+        # index them 1-based like the simulator's array ids.
+        reg.set_gauge("array.pages_touched", len(pages[name]),
+                      array=str(i + 1))
+    return reg
 
 
 @dataclass
@@ -88,6 +129,7 @@ class ParallelResult:
     wall_time_s: float
     workers: int
     worker_stats: list[WorkerTelemetry] = field(default_factory=list)
+    registry: Any = None  # MetricsRegistry over the worker telemetry
 
     def telemetry_table(self) -> str:
         """Per-worker profile as an aligned text block."""
@@ -97,7 +139,7 @@ class ParallelResult:
             ranges = " ".join(
                 f"{name}[{first}..{last}]" + (f"*{count}" if count > 1
                                               else "")
-                for name, first, last, count in t.rf_subranges)
+                for name, first, last, _items, count in t.rf_subranges)
             lines.append(f"{t.worker:>6}  {t.wall_time_s:>7.3f}  "
                          f"{t.shared_reads:>8}  {t.shared_writes:>9}  "
                          f"{t.deferred_reads:>8}  "
@@ -128,7 +170,7 @@ class _WorkerInterpreter(Interpreter):
         self.alloc_seq = 0
         self.shared_arrays: list[ShmArray] = []
         self.in_distributed = 0
-        self.rf_counts: dict[tuple[str, int, int], int] = {}
+        self.rf_counts: dict[tuple[str, int, int, int], int] = {}
 
     # -- allocation -----------------------------------------------------
 
@@ -145,7 +187,8 @@ class _WorkerInterpreter(Interpreter):
             # Record before creating: a death in the gap costs a no-op
             # unlink, while the reverse order would leak the segment.
             self.manifest.record(name)
-        arr = ShmArray(name, tuple(dims), create=create)
+        arr = ShmArray(name, tuple(dims), create=create,
+                       page_size=self.page_size)
         self.shared_arrays.append(arr)
         return arr
 
@@ -194,7 +237,8 @@ class _WorkerInterpreter(Interpreter):
         first, last = header.filtered_range(
             self.worker, init, limit, descending=stmt.descending,
             fixed=fixed, dim=rf.dim)
-        key = (block.name, first, last)
+        items = max(0, (last - first) * step + 1)
+        key = (block.name, first, last, items)
         self.rf_counts[key] = self.rf_counts.get(key, 0) + 1
         self.in_distributed += 1
         try:
@@ -215,9 +259,9 @@ class _WorkerInterpreter(Interpreter):
     def telemetry(self, wall_time_s: float) -> dict:
         out = {"wall_time_s": wall_time_s, "shared_reads": 0,
                "shared_writes": 0, "deferred_reads": 0, "spin_wait_s": 0.0,
-               "max_spin_wait_s": 0.0,
-               "rf_subranges": [(name, first, last, count)
-                                for (name, first, last), count
+               "max_spin_wait_s": 0.0, "pages_touched": {},
+               "rf_subranges": [(name, first, last, items, count)
+                                for (name, first, last, items), count
                                 in self.rf_counts.items()]}
         for arr in self.shared_arrays:
             s = arr.stats()
@@ -227,6 +271,8 @@ class _WorkerInterpreter(Interpreter):
             out["spin_wait_s"] += s["spin_wait_s"]
             out["max_spin_wait_s"] = max(out["max_spin_wait_s"],
                                          s["max_spin_wait_s"])
+            if s["pages_touched"]:
+                out["pages_touched"][arr.name] = s["pages_touched"]
         return out
 
     def cleanup(self) -> None:
@@ -413,4 +459,5 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
     stats = [WorkerTelemetry.from_dict(w, telemetry.get(w, {}))
              for w in range(nw)]
     return ParallelResult(value=payload, wall_time_s=wall, workers=nw,
-                          worker_stats=stats)
+                          worker_stats=stats,
+                          registry=telemetry_registry(stats))

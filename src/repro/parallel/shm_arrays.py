@@ -35,8 +35,10 @@ class ShmArray:
     """One shared I-structure array (attached or created)."""
 
     def __init__(self, name: str, dims: tuple[int, ...], create: bool,
-                 attach_timeout_s: float = 10.0) -> None:
+                 attach_timeout_s: float = 10.0,
+                 page_size: int = 32) -> None:
         self.dims = dims
+        self.page_size = page_size
         total = 1
         for d in dims:
             total *= d
@@ -86,12 +88,14 @@ class ShmArray:
         self._flags = self.shm.buf[:total]
         self._vals = self.shm.buf[total:total + 8 * total]
         # Telemetry counters, all process-local (each worker holds its
-        # own attachment): fed into per-worker WorkerTelemetry.
+        # own attachment): fed into per-worker WorkerTelemetry and from
+        # there into the run's shared MetricsRegistry (repro.obs).
         self.reads = 0
         self.writes = 0
         self.deferred_reads = 0
         self.spin_wait_s = 0.0
         self.max_spin_wait_s = 0.0
+        self.pages_touched: set[int] = set()
 
     def offset(self, indices: tuple[int, ...]) -> int:
         if len(indices) != len(self.dims):
@@ -106,6 +110,7 @@ class ShmArray:
     def write(self, indices: tuple[int, ...], value) -> None:
         off = self.offset(indices)
         self.writes += 1
+        self.pages_touched.add(off // self.page_size)
         if self._flags[off] != FLAG_ABSENT:
             raise SingleAssignmentViolation(0, off)
         base = off * 8
@@ -164,6 +169,7 @@ class ShmArray:
             "deferred_reads": self.deferred_reads,
             "spin_wait_s": self.spin_wait_s,
             "max_spin_wait_s": self.max_spin_wait_s,
+            "pages_touched": sorted(self.pages_touched),
         }
 
     def snapshot(self) -> list:

@@ -104,11 +104,23 @@ class Machine:
         self.max_live_frames = 0
         self._rng = (random.Random(self.config.jitter_seed)
                      if self.config.jitter_seed is not None else None)
+        # Observability is opt-in and zero-cost when off: with the
+        # default config both attributes stay None and the event loop
+        # pays one identity check per hook site.
+        obs_cfg = self.config.obs
         self.tracer = None
-        if self.config.trace:
+        if self.config.trace or obs_cfg.trace:
             from repro.sim.trace import Tracer
 
-            self.tracer = Tracer()
+            self.tracer = Tracer(limit=obs_cfg.trace_limit,
+                                 mode=obs_cfg.trace_mode)
+        self.obs = None
+        if obs_cfg.metrics or obs_cfg.timelines:
+            from repro.obs.recorder import ObsRecorder
+
+            self.obs = ObsRecorder(self.mc.num_pes,
+                                   timelines=obs_cfg.timelines,
+                                   metrics=obs_cfg.metrics)
 
     # ------------------------------------------------------------------
     # event queue
@@ -124,6 +136,8 @@ class Machine:
         done = start + cost
         setattr(pe, unit_attr, done)
         pe.stats.busy[unit] += cost
+        if self.obs is not None:
+            self.obs.span(pe.pid, unit, start, done)
         return done
 
     # ------------------------------------------------------------------
@@ -162,12 +176,22 @@ class Machine:
                 blocked,
             )
 
+        timelines = registry = None
+        if self.obs is not None:
+            timelines = self.obs.timelines
+            if self.obs.metrics:
+                from repro.sim.stats import UNITS
+
+                registry = self.obs.build_registry(
+                    [pe.stats for pe in self.pes], UNITS, self.now)
         stats = RunStats(
             num_pes=self.mc.num_pes,
             finish_time_us=self.now,
             pe_stats=[pe.stats for pe in self.pes],
             events_processed=self.events_processed,
             max_live_frames=self.max_live_frames,
+            timelines=timelines,
+            registry=registry,
         )
         return RunResult(value=self._materialize(self.result), stats=stats)
 
@@ -215,7 +239,8 @@ class Machine:
     def _mu_deliver(self, pe: PE, token) -> None:
         pe.stats.tokens_matched += 1
         if self.tracer is not None:
-            self.tracer.record(self.now, pe.pid, "token-match", repr(token))
+            self.tracer.record(self.now, pe.pid, "token-match", repr(token),
+                               unit="MU")
         if isinstance(token, MatchToken):
             key = (token.block_id, token.ctx)
             frame = pe.match_table.get(key)
@@ -263,7 +288,8 @@ class Machine:
             self.max_live_frames = pe.live_frames
         if self.tracer is not None:
             self.tracer.record(self.now, pe.pid, "frame-create",
-                               f"{frame.name} uid={uid} ctx={ctx}")
+                               f"{frame.name} uid={uid} ctx={ctx}",
+                               unit="MM", sp=uid)
         return frame
 
     def _put_slot(self, pe: PE, frame: Frame, slot: int, value: Any) -> None:
@@ -312,6 +338,11 @@ class Machine:
         if pe.suspended_on is not None:
             return
         t = max(self.now, pe.eu_time)
+        # Inside one EU step the local clock advances only by busy work
+        # (instruction costs and context switches), so [t0, exit t] is
+        # exactly one busy interval of the EU timeline.
+        t0 = t
+        obs = self.obs
         queue = self._queue
         stats = pe.stats
         frame = pe.running
@@ -320,6 +351,8 @@ class Machine:
             if frame is None:
                 if not pe.ready:
                     pe.eu_time = t
+                    if obs is not None and t > t0:
+                        obs.span(pe.pid, "EU", t0, t)
                     return
                 frame = pe.ready.popleft()
                 if frame.status != READY:
@@ -337,11 +370,15 @@ class Machine:
                 pe.eu_scheduled = True
                 pe.eu_time = t
                 self.schedule(t, self._eu_step, pe)
+                if obs is not None and t > t0:
+                    obs.span(pe.pid, "EU", t0, t)
                 return
 
             t, frame = self._execute(pe, frame, t)
             if pe.suspended_on is not None:
                 pe.eu_time = t
+                if obs is not None and t > t0:
+                    obs.span(pe.pid, "EU", t0, t)
                 return
 
     def _execute(self, pe: PE, frame: Frame, t: float):
@@ -475,7 +512,8 @@ class Machine:
     def _block_on(self, pe: PE, frame: Frame, slot: int, t: float):
         if self.tracer is not None:
             self.tracer.record(t, pe.pid, "block",
-                               f"{frame.name} uid={frame.uid} slot={slot}")
+                               f"{frame.name} uid={frame.uid} slot={slot}",
+                               unit="EU", sp=frame.uid)
         frame.block_on_slot(slot)
         pe.running = None
         return t, None
@@ -489,7 +527,8 @@ class Machine:
     def _eu_end(self, pe: PE, frame: Frame, t: float):
         if self.tracer is not None:
             self.tracer.record(t, pe.pid, "frame-end",
-                               f"{frame.name} uid={frame.uid}")
+                               f"{frame.name} uid={frame.uid}",
+                               unit="EU", sp=frame.uid)
         frame.status = DONE
         pe.running = None
         pe.stats.frames_destroyed += 1
@@ -570,7 +609,12 @@ class Machine:
                 instr.descending] >= 0 else "empty")
             self.tracer.record(t, pe.pid, "rf-range",
                                f"{frame.name} dim={instr.dim} "
-                               f"fixed={list(argvals)} -> {span}")
+                               f"fixed={list(argvals)} -> {span}",
+                               unit="EU", sp=frame.uid)
+        if self.obs is not None:
+            step = -1 if instr.descending else 1
+            items = max(0, (last - first) * step + 1)
+            self.obs.rf(pe.pid, frame.name, first, last, items)
         frame._slots[instr.dst] = first
         frame._slots[instr.dst2] = last
         frame.pc += 1
@@ -696,7 +740,8 @@ class Machine:
         if self.tracer is not None:
             self.tracer.record(self.now, pe.pid, "message",
                                f"{type(msg).__name__} -> PE{msg.dst_pe} "
-                               f"({msg.wire_bytes}B, +{latency:.0f}us)")
+                               f"({msg.wire_bytes}B, +{latency:.0f}us)",
+                               unit="RU")
         self.schedule(self.now + latency, self._deliver_msg, msg)
 
     def _deliver_msg(self, msg) -> None:
@@ -790,7 +835,8 @@ class Machine:
         owner = header.owner_of_offset(offset)
         if self.tracer is not None:
             self.tracer.record(self.now, pe.pid, "remote-read",
-                               f"array {aid} off {offset} -> PE{owner}")
+                               f"array {aid} off {offset} -> PE{owner}",
+                               unit="AM", sp=waiter.frame_uid)
         msg = ReadRequestMsg(pe.pid, owner, aid, offset, waiter)
         self.schedule(done, self._send_msg, pe, msg)
         if not self.mc.split_phase_reads:
@@ -872,6 +918,8 @@ class Machine:
             return
         if header.is_local(offset, pe.pid):
             pe.stats.array_writes_local += 1
+            if self.obs is not None:
+                self.obs.page_touch(aid, header.page_of(offset))
             seg = pe.segments[aid]
             woken = seg.write(offset, value)  # may raise single-assignment
             done = self._serve(pe, "am_free", "AM",

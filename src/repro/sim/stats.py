@@ -5,11 +5,22 @@ of the time a given facility is busy" (Section 5.3.1) over the five
 logical units of Figure 7 — Execution Unit (EU), Matching Unit (MU, the
 "MS" series of Figure 8), Routing Unit (RU), Array Manager (AM) and
 Memory Manager (MM).
+
+With observability enabled (:class:`repro.common.config.ObsConfig`) a
+run additionally carries per-unit busy-interval *timelines* and a
+:class:`repro.obs.MetricsRegistry`; utilization can then be derived from
+the recorded intervals (``timeline_utilization``) instead of the running
+accumulators — the derivation the bench figures use.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # no runtime dependency on repro.obs
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.timeline import TimelineStore
 
 UNITS = ("EU", "MU", "RU", "AM", "MM")
 
@@ -52,6 +63,8 @@ class RunStats:
     pe_stats: list[PEStats]
     events_processed: int = 0
     max_live_frames: int = 0  # high-water mark of live SPs on any one PE
+    timelines: "TimelineStore | None" = None
+    registry: "MetricsRegistry | None" = None
 
     # -- utilizations ---------------------------------------------------
 
@@ -67,6 +80,20 @@ class RunStats:
     def utilizations(self) -> dict[str, float]:
         """Average utilization of every unit (the Figure 8 bars)."""
         return {u: self.utilization(u) for u in UNITS}
+
+    def timeline_utilization(self, unit: str, pe: int | None = None) -> float:
+        """Utilization *derived* from recorded busy intervals.
+
+        Falls back to the accumulator-based number when the run was not
+        observed with ``ObsConfig(timelines=True)``.
+        """
+        if self.timelines is None:
+            return self.utilization(unit, pe)
+        return self.timelines.utilization(unit, self.finish_time_us, pe=pe)
+
+    def timeline_utilizations(self) -> dict[str, float]:
+        """Timeline-derived utilization of every unit."""
+        return {u: self.timeline_utilization(u) for u in UNITS}
 
     # -- convenience aggregates ------------------------------------------
 

@@ -122,6 +122,54 @@ def test_parallel_backend_agreement(name, compiled):
     assert par == pytest.approx(oracle, rel=1e-12)
 
 
+def test_cross_backend_metric_differential(compiled):
+    """Both backends feed one MetricsRegistry; the execution-model-
+    independent families must agree.
+
+    Semantic metrics (what the program *does*): RF subrange extents,
+    total items, element writes, array pages touched.  Timing-dependent
+    metrics (deferred reads) are only sanity-bounded — how often a read
+    arrives before its write depends on the schedule.
+    """
+    program, args, expected = compiled["fill-and-sum"]
+
+    from repro.common.config import MachineConfig, ObsConfig, SimConfig
+
+    sim_cfg = SimConfig(machine=MachineConfig(num_pes=2),
+                        obs=ObsConfig(metrics=True, timelines=True))
+    sim = program.run_pods(args, num_pes=2, config=sim_cfg)
+    par = program.run_parallel(args, workers=2)
+    assert sim.value == par.value == expected
+
+    sim_reg, par_reg = sim.stats.registry, par.registry
+    assert sim_reg is not None and par_reg is not None
+
+    def rf_rows(reg):
+        return sorted((r.labels_dict()["pe"], r.labels_dict()["first"],
+                       r.labels_dict()["last"]) for r in
+                      reg.select("rf.subrange"))
+
+    # Same RF split: each PE/worker owns the same index subrange.
+    assert rf_rows(sim_reg) == rf_rows(par_reg)
+    assert sim_reg.total("rf.items") == par_reg.total("rf.items") == args[0]
+
+    # Same store traffic: every element written exactly once.
+    assert (sim_reg.total("array.element_writes")
+            == par_reg.total("array.element_writes")
+            == args[0] * args[0])
+
+    # Same pages of the shared array populated.
+    def pages(reg):
+        return [r.value for r in reg.select("array.pages_touched")]
+
+    assert pages(sim_reg) == pages(par_reg)
+
+    # Deferred reads are schedule-dependent; both backends must report a
+    # well-formed (non-negative) count.
+    assert sim_reg.total("array.deferred_reads") >= 0
+    assert par_reg.total("array.deferred_reads") >= 0
+
+
 def test_undistributed_compile_agrees(compiled):
     # distribute=False (the partition_none ablation) must not change
     # results, only parallelism.

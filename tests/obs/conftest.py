@@ -1,0 +1,49 @@
+"""Shared helpers for the observability tests: one small program, run on
+the simulator with the full observability stack enabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import compile_source
+from repro.common.config import MachineConfig, ObsConfig, SimConfig
+from repro.sim.machine import Machine
+
+# The cross-backend fill-and-sum program: touches frames, loops, arrays
+# and RF distribution, yet traces to ~100 events at n=3 on 2 PEs.
+FILL_AND_SUM = """
+function main(n) {
+    A = matrix(n, n);
+    for i = 1 to n { for j = 1 to n { A[i, j] = i * j; } }
+    s = 0;
+    for i = 1 to n {
+        r = 0;
+        for j = 1 to n { next r = r + A[i, j]; }
+        next s = s + r;
+    }
+    return s;
+}
+"""
+
+
+def run_observed(source: str = FILL_AND_SUM, args: tuple = (3,),
+                 num_pes: int = 2, jitter_seed: int | None = None):
+    """Compile + run with metrics, timelines and tracing all on.
+
+    Returns (machine, result); the machine exposes the tracer, the
+    result's stats carry the timelines and the metrics registry.
+    """
+    program = compile_source(source)
+    config = SimConfig(
+        machine=MachineConfig(num_pes=num_pes),
+        obs=ObsConfig(metrics=True, timelines=True, trace=True),
+        jitter_seed=jitter_seed,
+    )
+    machine = Machine(program.pods, config)
+    result = machine.run(args)
+    return machine, result
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    return run_observed()

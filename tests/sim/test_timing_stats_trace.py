@@ -129,6 +129,56 @@ class TestTracer:
         line = e.format()
         assert "12.5us" in line and "PE3" in line and "hello" in line
 
+    def test_golden_line_stable_fields(self):
+        e = TraceEvent(12.5, 3, "block", "main uid=7 slot=2",
+                       unit="EU", sp=7, seq=41)
+        assert e.golden_line() == "41 3 EU block 7"
+        bare = TraceEvent(1.0, 0, "message", "x")
+        assert bare.golden_line() == "0 0 - message -"
+
+
+class TestTracerOverflow:
+    def test_drop_mode_keeps_oldest(self):
+        t = Tracer(limit=2, mode="drop")
+        for i in range(5):
+            t.record(float(i), 0, "x", f"e{i}")
+        assert [e.detail for e in t.events] == ["e0", "e1"]
+        assert t.dropped == 3
+        assert t.truncated
+
+    def test_ring_mode_keeps_newest(self):
+        t = Tracer(limit=2, mode="ring")
+        for i in range(5):
+            t.record(float(i), 0, "x", f"e{i}")
+        assert [e.detail for e in t.events] == ["e3", "e4"]
+        assert t.dropped == 3
+        # seq numbering is global, so the survivors still show where
+        # they sat in the full stream
+        assert [e.seq for e in t.events] == [4, 5]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(mode="spill")
+
+    def test_complete_trace_has_no_warning(self):
+        t = Tracer(limit=10)
+        t.record(1.0, 0, "x", "a")
+        assert not t.truncated
+        assert t.drop_warning() == ""
+        assert "WARNING" not in t.summary()
+
+    def test_drop_warning_prominent_in_summary(self):
+        for mode in ("drop", "ring"):
+            t = Tracer(limit=2, mode=mode)
+            for i in range(5):
+                t.record(float(i), 0, "x", "d")
+            warning = t.drop_warning()
+            assert "WARNING" in warning
+            assert "3 of 5 events dropped" in warning
+            # the summary must lead with it: a truncated trace should
+            # never read as complete
+            assert t.summary().startswith(warning)
+
 
 class TestTimeline:
     def test_timeline_shape(self):
