@@ -4,8 +4,9 @@ need for any specialized hardware units to support the system"."""
 
 from __future__ import annotations
 
-from conftest import PE_GRID, simple_args
+from conftest import PE_GRID, SIMPLE_STEPS, simple_args
 
+from repro.bench import trajectory
 from repro.bench.harness import save_report
 from repro.bench.report import render_table
 from repro.sim.stats import UNITS
@@ -27,6 +28,14 @@ def test_fig8_unit_balance(benchmark, obs_sweeper, simple_program):
               "timelines)\n\n" + table)
     save_report("fig08_unit_balance.txt", report)
     print("\n" + report)
+
+    trajectory.save(trajectory.make_doc(
+        "fig08_unit_balance",
+        {"app": "simple", "size": 16, "steps": SIMPLE_STEPS},
+        [{"label": f"16x16@{pes}", "pes": pes,
+          "time_us": points[pes].time_us,
+          "utilization": points[pes].utilization}
+         for pes in PE_GRID]))
 
     # The timeline-derived numbers must agree with the simulator's
     # busy-time accumulators to within 0.1% (relative).

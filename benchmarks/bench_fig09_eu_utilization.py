@@ -6,9 +6,10 @@ idle"."""
 
 from __future__ import annotations
 
-from conftest import PE_GRID, pe_grid, simple_args
+from conftest import PE_GRID, SIMPLE_STEPS, pe_grid, simple_args
 
-from repro.bench.harness import save_report
+from repro.bench import trajectory
+from repro.bench.harness import FULL_SCALE, save_report
 from repro.bench.report import render_series_chart, render_table
 
 SIZES = [16, 32, 64]
@@ -45,6 +46,22 @@ def test_fig9_eu_utilization(benchmark, obs_sweeper, simple_program):
               + table + "\n\n" + chart)
     save_report("fig09_eu_utilization.txt", report)
     print("\n" + report)
+
+    points_json = []
+    for n in SIZES:
+        for pes in pe_grid(n):
+            pt = obs_sweeper.run(simple_program, simple_args(n), pes,
+                                 key="simple")
+            points_json.append({
+                "label": f"{n}x{n}@{pes}", "pes": pes,
+                "time_us": pt.time_us,
+                "utilization": {"EU": util[n][pes]},
+            })
+    trajectory.save(trajectory.make_doc(
+        "fig09_eu_utilization",
+        {"app": "simple", "steps": SIMPLE_STEPS,
+         "full_scale": FULL_SCALE},
+        points_json))
 
     # Shape assertions from the paper:
     # (1) utilization falls as PEs grow, for every size;

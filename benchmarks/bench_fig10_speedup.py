@@ -7,9 +7,10 @@ approach ... when the problem size was sufficiently large"."""
 
 from __future__ import annotations
 
-from conftest import PE_GRID, pe_grid, simple_args
+from conftest import PE_GRID, SIMPLE_STEPS, pe_grid, simple_args
 
-from repro.bench.harness import save_report
+from repro.bench import trajectory
+from repro.bench.harness import FULL_SCALE, save_report
 from repro.bench.report import render_series_chart, render_table
 
 SIZES = [16, 32, 64]
@@ -54,6 +55,24 @@ def test_fig10_speedup(benchmark, sweeper, simple_program):
               "@32 PEs)\n\n" + table + "\n\n" + chart)
     save_report("fig10_speedup.txt", report)
     print("\n" + report)
+
+    # Machine-readable trajectory point alongside the text report (the
+    # sweeper memoizes, so these lookups are free).
+    points_json = []
+    for n in SIZES:
+        for pes in pe_grid(n):
+            pt = sweeper.run(simple_program, simple_args(n), pes,
+                             key="simple")
+            points_json.append({
+                "label": f"{n}x{n}@{pes}", "pes": pes,
+                "time_us": pt.time_us, "speedup": speedup[n][pes],
+                "utilization": pt.utilization,
+            })
+    trajectory.save(trajectory.make_doc(
+        "fig10_speedup",
+        {"app": "simple", "steps": SIMPLE_STEPS,
+         "full_scale": FULL_SCALE},
+        points_json))
 
     top16 = max(speedup[16].values())
     top32 = max(speedup[32].values())

@@ -161,3 +161,104 @@ def save_report(name: str, text: str) -> str:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     return path
+
+
+# ---------------------------------------------------------------------
+# trajectory CLI: python -m repro.bench.harness --json ...
+# ---------------------------------------------------------------------
+
+
+def profiled_sweep(program: Program, args: tuple, pe_counts: list[int],
+                   label: str = "", **machine_kwargs) -> list[dict]:
+    """Run one configuration per PE count with wait-state observability
+    on and return schema-v1 trajectory points (time, speedup,
+    utilization, critical-path length)."""
+    from repro.obs.critpath import critical_path
+
+    points: list[dict] = []
+    base_us: float | None = None
+    for pes in pe_counts:
+        obs = ObsConfig(metrics=False, timelines=True, waits=True)
+        config = SimConfig(
+            machine=MachineConfig(num_pes=pes, **machine_kwargs), obs=obs)
+        result = program.run_pods(args, num_pes=pes, config=config)
+        stats = result.stats
+        if base_us is None:
+            base_us = stats.finish_time_us
+        path = critical_path(stats.waits, stats.finish_time_us)
+        points.append({
+            "label": f"{label or program.pods.name}@{pes}",
+            "pes": pes,
+            "time_us": stats.finish_time_us,
+            "speedup": base_us / stats.finish_time_us,
+            "utilization": {u: stats.timeline_utilization(u)
+                            for u in UNITS},
+            "critical_path_us": path.total_us,
+            "events": stats.events_processed,
+        })
+    return points
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Emit a BENCH_<name>.json trajectory point for the SIMPLE app.
+
+    The CI bench-smoke job runs this with a small grid and feeds the
+    output to ``python -m repro.bench.trajectory compare``.
+    """
+    import argparse
+    import time
+
+    from repro.bench import trajectory
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.harness",
+        description="run a small SIMPLE sweep and emit a machine-readable "
+                    "benchmark trajectory point")
+    parser.add_argument("--name", default="simple_smoke",
+                        help="benchmark name (BENCH_<name>.json)")
+    parser.add_argument("--size", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=1)
+    parser.add_argument("--pes", default="1,2,4",
+                        help="comma-separated PE counts (default 1,2,4)")
+    parser.add_argument("--conduction-only", action="store_true")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_<name>.json under "
+                             "benchmarks/results/")
+    parser.add_argument("--output-dir", default=None,
+                        help="directory for the JSON document "
+                             "(default benchmarks/results/)")
+    args = parser.parse_args(argv)
+
+    from repro.apps.simple_app import compile_simple
+
+    pe_counts = [int(p) for p in args.pes.split(",")]
+    program = compile_simple(conduction_only=args.conduction_only)
+    t0 = time.perf_counter()
+    points = profiled_sweep(program, (args.size, args.steps), pe_counts,
+                            label=f"{args.size}x{args.size}")
+    wall_s = time.perf_counter() - t0
+
+    for pt in points:
+        print(f"{pt['pes']:3d} PEs: {pt['time_us'] / 1e6:9.6f} s  "
+              f"speed-up {pt['speedup']:5.2f}  "
+              f"EU {pt['utilization']['EU'] * 100:5.1f}%  "
+              f"critical path {pt['critical_path_us'] / 1e6:9.6f} s")
+    print(f"(host wall clock: {wall_s:.2f} s)")
+
+    if args.json:
+        doc = trajectory.make_doc(
+            name=args.name,
+            config={"app": "simple", "size": args.size,
+                    "steps": args.steps,
+                    "conduction_only": args.conduction_only,
+                    "pes": args.pes},
+            points=points,
+            wall_s=round(wall_s, 3),
+        )
+        path = trajectory.save(doc, directory=args.output_dir)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,299 @@
+"""Machine-readable benchmark trajectory: BENCH_<name>.json + comparator.
+
+Every benchmark that matters emits a schema-versioned JSON document next
+to its human-readable ``.txt`` report, so the repo accumulates a
+*trajectory* of performance points that tooling (CI, the comparator
+below) can diff — the ROADMAP's "measurably faster" mandate needs a
+machine-checkable baseline, not prose.
+
+Schema ``pods-bench/v1``::
+
+    {
+      "schema": "pods-bench/v1",
+      "name": "fig10_speedup",
+      "config": {"size": 16, "steps": 2, ...},      # scalars only
+      "wall_s": 12.3,          # host wall clock - informational ONLY
+      "points": [
+        {
+          "label": "16x16@8",  # unique within the document
+          "pes": 8,
+          "time_us": 123456.0, # modeled simulated time (deterministic)
+          "speedup": 5.1,                    # optional
+          "utilization": {"EU": 0.61, ...},  # optional
+          "critical_path_us": 120000.0,      # optional
+          "events": 98765                    # optional
+        }, ...
+      ]
+    }
+
+The comparator diffs the *deterministic* fields (``time_us``,
+``speedup``, ``critical_path_us``) point-by-point against a previous
+trajectory document and flags regressions beyond a relative tolerance;
+``wall_s`` is reported but never gates, because host speed is not a
+property of the code under test.
+
+CLI (used by the CI bench-smoke job)::
+
+    python -m repro.bench.trajectory compare OLD.json NEW.json \
+        [--rtol 0.02] [--report-only]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+SCHEMA = "pods-bench/v1"
+
+# Gate fields: deterministic per (program, config); larger is worse for
+# time-like fields, smaller is worse for speedup.
+_TIME_FIELDS = ("time_us", "critical_path_us")
+_RATE_FIELDS = ("speedup",)
+
+
+# ---------------------------------------------------------------------
+# document construction / IO
+# ---------------------------------------------------------------------
+
+
+def make_doc(name: str, config: dict, points: list[dict],
+             wall_s: float | None = None) -> dict:
+    """Assemble a schema-v1 trajectory document."""
+    doc = {
+        "schema": SCHEMA,
+        "name": name,
+        "config": dict(config),
+        "points": list(points),
+    }
+    if wall_s is not None:
+        doc["wall_s"] = wall_s
+    problems = validate(doc)
+    if problems:
+        raise ValueError("invalid bench document: " + "; ".join(problems))
+    return doc
+
+
+def bench_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def save(doc: dict, directory: str | None = None) -> str:
+    """Write ``BENCH_<name>.json`` (deterministic encoding bar wall_s)."""
+    if directory is None:
+        from repro.bench.harness import results_dir
+
+        directory = results_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, bench_filename(doc["name"]))
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    problems = validate(doc)
+    if problems:
+        raise ValueError(f"{path}: " + "; ".join(problems))
+    return doc
+
+
+# ---------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------
+
+
+def validate(doc) -> list[str]:
+    """Structural check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be an object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        problems.append("'name' must be a non-empty string")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("'config' must be an object")
+    else:
+        for k, v in doc["config"].items():
+            if not isinstance(v, (int, float, str, bool, type(None))):
+                problems.append(f"config[{k!r}] must be a scalar")
+    if "wall_s" in doc and not isinstance(doc["wall_s"], (int, float)):
+        problems.append("'wall_s' must be a number")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append("'points' must be a non-empty array")
+        return problems
+    seen: set[str] = set()
+    for i, pt in enumerate(points):
+        where = f"points[{i}]"
+        if not isinstance(pt, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        label = pt.get("label")
+        if not isinstance(label, str) or not label:
+            problems.append(f"{where}: 'label' must be a non-empty string")
+        elif label in seen:
+            problems.append(f"{where}: duplicate label {label!r}")
+        else:
+            seen.add(label)
+        if not isinstance(pt.get("pes"), int) or pt.get("pes", 0) < 1:
+            problems.append(f"{where}: 'pes' must be a positive integer")
+        if not isinstance(pt.get("time_us"), (int, float)):
+            problems.append(f"{where}: 'time_us' must be a number")
+        for opt in _TIME_FIELDS + _RATE_FIELDS + ("events",):
+            if opt in pt and not isinstance(pt[opt], (int, float)):
+                problems.append(f"{where}: {opt!r} must be a number")
+        if "utilization" in pt:
+            util = pt["utilization"]
+            if not isinstance(util, dict) or any(
+                    not isinstance(v, (int, float)) for v in util.values()):
+                problems.append(f"{where}: 'utilization' must map unit "
+                                "-> number")
+    return problems
+
+
+# ---------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class Comparison:
+    """Outcome of diffing a new trajectory point against the previous."""
+
+    name: str
+    rtol: float
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [f"bench trajectory: {self.name} "
+                 f"(tolerance {self.rtol * 100:.1f}%)"]
+        for r in self.regressions:
+            lines.append(f"  REGRESSION  {r}")
+        for i in self.improvements:
+            lines.append(f"  improvement {i}")
+        for n in self.notes:
+            lines.append(f"  note        {n}")
+        if not (self.regressions or self.improvements or self.notes):
+            lines.append("  no change beyond tolerance")
+        return "\n".join(lines)
+
+
+def compare(prev: dict, cur: dict, rtol: float = 0.02) -> Comparison:
+    """Diff two trajectory documents of the same benchmark.
+
+    Points are matched by label.  ``time_us`` / ``critical_path_us``
+    growing by more than ``rtol`` (relative) is a regression, as is
+    ``speedup`` shrinking by more than ``rtol``.  ``wall_s`` and
+    unmatched labels only produce notes.
+    """
+    cmp = Comparison(name=cur.get("name", "?"), rtol=rtol)
+    if prev.get("name") != cur.get("name"):
+        cmp.notes.append(
+            f"comparing different benchmarks: {prev.get('name')!r} vs "
+            f"{cur.get('name')!r}")
+    if prev.get("config") != cur.get("config"):
+        cmp.notes.append("config changed; treating deltas as informational")
+    prev_pts = {p["label"]: p for p in prev.get("points", [])}
+    cur_pts = {p["label"]: p for p in cur.get("points", [])}
+    config_changed = prev.get("config") != cur.get("config")
+    for label in sorted(set(prev_pts) | set(cur_pts)):
+        a, b = prev_pts.get(label), cur_pts.get(label)
+        if a is None:
+            cmp.notes.append(f"{label}: new point")
+            continue
+        if b is None:
+            cmp.notes.append(f"{label}: point disappeared")
+            continue
+        for fld in _TIME_FIELDS:
+            delta = _rel_delta(a.get(fld), b.get(fld))
+            if delta is None:
+                continue
+            msg = (f"{label}: {fld} {a[fld]:.1f} -> {b[fld]:.1f} "
+                   f"({delta * 100:+.1f}%)")
+            if delta > rtol and not config_changed:
+                cmp.regressions.append(msg)
+            elif delta < -rtol:
+                cmp.improvements.append(msg)
+        for fld in _RATE_FIELDS:
+            delta = _rel_delta(a.get(fld), b.get(fld))
+            if delta is None:
+                continue
+            msg = (f"{label}: {fld} {a[fld]:.2f} -> {b[fld]:.2f} "
+                   f"({delta * 100:+.1f}%)")
+            if delta < -rtol and not config_changed:
+                cmp.regressions.append(msg)
+            elif delta > rtol:
+                cmp.improvements.append(msg)
+    wall_delta = _rel_delta(prev.get("wall_s"), cur.get("wall_s"))
+    if wall_delta is not None and abs(wall_delta) > rtol:
+        cmp.notes.append(
+            f"wall_s {prev['wall_s']:.2f} -> {cur['wall_s']:.2f} "
+            f"({wall_delta * 100:+.1f}%) - host-dependent, never gates")
+    return cmp
+
+
+def _rel_delta(a, b) -> float | None:
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return None
+    if a == 0:
+        return None
+    return (b - a) / abs(a)
+
+
+# ---------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trajectory",
+        description="validate / compare BENCH_*.json trajectory documents")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    val = sub.add_parser("validate", help="check a document against the "
+                         "schema")
+    val.add_argument("file")
+
+    comp = sub.add_parser("compare", help="diff two trajectory documents")
+    comp.add_argument("previous")
+    comp.add_argument("current")
+    comp.add_argument("--rtol", type=float, default=0.02,
+                      help="relative tolerance before a delta is a "
+                      "regression (default 0.02)")
+    comp.add_argument("--report-only", action="store_true",
+                      help="always exit 0; print findings only")
+
+    args = parser.parse_args(argv)
+    if args.command == "validate":
+        problems = validate(json.load(open(args.file)))
+        if problems:
+            for p in problems:
+                print(f"INVALID: {p}")
+            return 1
+        print(f"{args.file}: valid {SCHEMA} document")
+        return 0
+
+    result = compare(load(args.previous), load(args.current),
+                     rtol=args.rtol)
+    print(result.render())
+    if not result.ok and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -112,7 +112,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     program = _load(args.file)
     call_args = tuple(_parse_value(a) for a in (args.args or []))
-    obs = ObsConfig(metrics=True, timelines=True, trace=True)
+    obs = ObsConfig(metrics=True, timelines=True, trace=True, waits=True)
     config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs)
     machine = Machine(program.pods, config)
     result = machine.run(call_args)
@@ -123,7 +123,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         # byte-identical output (anything else lands on stderr).
         text = perfetto_json(result.stats.timelines, tracer.events,
                              num_pes=args.pes, pe=args.pe,
-                             since_us=args.since_us)
+                             since_us=args.since_us,
+                             waits=result.stats.waits,
+                             finish_us=result.stats.finish_time_us)
         if tracer.truncated:
             print(tracer.drop_warning(), file=sys.stderr)
         if args.output:
@@ -143,6 +145,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.format == "summary":
         from repro.bench.report import render_metrics_table
 
+        lines += ["", _blocked_cause_table(machine, result)]
         if result.stats.registry is not None:
             lines += ["", render_metrics_table(result.stats.registry)]
     else:  # text
@@ -156,6 +159,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             lines.append(f"... {len(events) - args.limit} more events")
 
     text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _blocked_cause_table(machine, result) -> str:
+    """Per-PE blocked-cause column for ``pods trace --format summary``:
+    attributed wait time per category plus anything still blocked at the
+    end of the run (``PE.describe_blocked()``)."""
+    from repro.obs.critpath import pe_wait_breakdown
+    from repro.obs.waits import IDLE, WAIT_CATEGORIES
+
+    stats = result.stats
+    cats = list(WAIT_CATEGORIES) + [IDLE]
+    lines = ["blocked causes (us per PE):",
+             "  PE  " + "".join(f"{c:>18s}" for c in cats)]
+    breakdown = pe_wait_breakdown(stats.waits, stats.timelines,
+                                  stats.num_pes, stats.finish_time_us)
+    for pe in range(stats.num_pes):
+        row = f"  {pe:<4d}"
+        for cat in cats:
+            row += f"{breakdown[pe].get(cat, 0.0):>18.1f}"
+        lines.append(row)
+    still_blocked = []
+    for pe in machine.pes:
+        still_blocked.extend(pe.describe_blocked())
+    if still_blocked:
+        lines.append("  still blocked at end of run:")
+        lines.extend(f"    {line}" for line in still_blocked)
+    return "\n".join(lines)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.common.config import MachineConfig, ObsConfig, SimConfig
+    from repro.obs.profile import Profile
+    from repro.sim.machine import Machine
+
+    program = _load(args.file, optimize=args.optimize)
+    call_args = tuple(_parse_value(a) for a in (args.args or []))
+    obs = ObsConfig(metrics=True, timelines=True, waits=True)
+    config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs)
+    machine = Machine(program.pods, config)
+    result = machine.run(call_args)
+    profile = Profile.from_stats(result.stats)
+    text = (f"value: {result.value}\n\n" + profile.render(top=args.top))
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
@@ -261,6 +313,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output",
                        help="write to a file instead of stdout")
     trace.set_defaults(func=_cmd_trace)
+
+    prof = sub.add_parser(
+        "profile",
+        help="blocked-time breakdown, critical path, what-if estimates")
+    prof.add_argument("file")
+    prof.add_argument("--args", nargs="*", help="main() arguments")
+    prof.add_argument("--pes", type=int, default=2)
+    prof.add_argument("--top", type=int, default=10,
+                      help="SPs to list by critical-path share (default 10)")
+    prof.add_argument("--optimize", action="store_true",
+                      help="enable CSE + invariant hoisting + DCE")
+    prof.add_argument("-o", "--output",
+                      help="write to a file instead of stdout")
+    prof.set_defaults(func=_cmd_profile)
 
     fmt = sub.add_parser("format", help="pretty-print a program")
     fmt.add_argument("file")

@@ -132,6 +132,11 @@ class ObsConfig:
         trace_mode: What happens at the limit — ``"drop"`` stops
             recording (keeps the oldest events), ``"ring"`` keeps the
             newest by evicting the oldest.  Both count ``dropped``.
+        waits: Record per-SP wait-state spans (blocked intervals tagged
+            with a cause category — token-wait, istructure-defer,
+            remote-read, net-queue, sched-queue) from which the
+            blocked-time breakdown and the critical path are derived
+            (see :mod:`repro.obs.waits` / :mod:`repro.obs.critpath`).
     """
 
     metrics: bool = False
@@ -139,6 +144,7 @@ class ObsConfig:
     trace: bool = False
     trace_limit: int = 200_000
     trace_mode: str = "drop"
+    waits: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_limit < 1:
@@ -149,7 +155,7 @@ class ObsConfig:
 
     @property
     def enabled(self) -> bool:
-        return self.metrics or self.timelines or self.trace
+        return self.metrics or self.timelines or self.trace or self.waits
 
 
 @dataclass(frozen=True)

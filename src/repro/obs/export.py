@@ -24,6 +24,7 @@ from typing import Iterable
 from repro.sim.stats import UNITS
 
 SP_TRACK = len(UNITS)  # tid of the per-PE SP-lifecycle track
+WAIT_TRACK = SP_TRACK + 1  # tid of the per-PE wait-state track
 _UNIT_TID = {unit: tid for tid, unit in enumerate(UNITS)}
 
 
@@ -44,8 +45,16 @@ def filter_events(events: Iterable, pe: int | None = None,
 
 def perfetto_trace(timelines=None, events: Iterable = (),
                    num_pes: int = 1, pe: int | None = None,
-                   since_us: float = 0.0) -> dict:
-    """Build the trace_event JSON object (see module docstring)."""
+                   since_us: float = 0.0, waits=None,
+                   finish_us: float = 0.0) -> dict:
+    """Build the trace_event JSON object (see module docstring).
+
+    With a :class:`repro.obs.waits.WaitStore` passed as ``waits`` (and
+    the run's makespan as ``finish_us``), each PE additionally gets a
+    "WAIT" track of complete events — the attributed idle intervals of
+    :func:`repro.obs.critpath.pe_wait_intervals`, named by cause
+    category.
+    """
     pes = [pe] if pe is not None else list(range(num_pes))
     out: list[dict] = []
     for pid in pes:
@@ -56,6 +65,22 @@ def perfetto_trace(timelines=None, events: Iterable = (),
                         "tid": tid, "args": {"name": f"PE{pid} {unit}"}})
         out.append({"ph": "M", "name": "thread_name", "pid": pid,
                     "tid": SP_TRACK, "args": {"name": f"PE{pid} SP"}})
+        if waits is not None and timelines is not None:
+            out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": WAIT_TRACK,
+                        "args": {"name": f"PE{pid} WAIT"}})
+
+    if waits is not None and timelines is not None:
+        from repro.obs.critpath import pe_wait_intervals
+
+        for pid in pes:
+            for start, end, cat in pe_wait_intervals(
+                    waits, timelines, pid, finish_us):
+                if end < since_us:
+                    continue
+                out.append({"ph": "X", "name": cat, "cat": "wait",
+                            "pid": pid, "tid": WAIT_TRACK, "ts": start,
+                            "dur": end - start})
 
     if timelines is not None:
         for pid, unit, line in timelines.items():
@@ -90,11 +115,12 @@ def perfetto_trace(timelines=None, events: Iterable = (),
 
 
 def perfetto_json(timelines=None, events: Iterable = (), num_pes: int = 1,
-                  pe: int | None = None, since_us: float = 0.0) -> str:
+                  pe: int | None = None, since_us: float = 0.0,
+                  waits=None, finish_us: float = 0.0) -> str:
     """Deterministic (byte-stable) JSON encoding of the trace."""
     return json.dumps(
         perfetto_trace(timelines, events, num_pes, pe=pe,
-                       since_us=since_us),
+                       since_us=since_us, waits=waits, finish_us=finish_us),
         sort_keys=True, separators=(",", ":"))
 
 

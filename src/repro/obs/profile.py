@@ -1,0 +1,138 @@
+"""The ``pods profile`` report: breakdown + critical path + what-ifs.
+
+Builds on :mod:`repro.obs.waits` / :mod:`repro.obs.critpath` and renders
+the three tables the CLI prints:
+
+* per-PE blocked-time breakdown (busy + each wait category + idle,
+  summing to the makespan per PE);
+* the critical path: total length (= makespan), per-kind contribution,
+  and the top-N SPs by path share;
+* the Coz-style what-if table ("zeroing remote-read latency predicts
+  N x speed-up").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.critpath import (
+    CriticalPath,
+    critical_path,
+    pe_wait_breakdown,
+    sp_names,
+)
+from repro.obs.waits import IDLE, RUN, WAIT_CATEGORIES
+
+
+@dataclass
+class Profile:
+    """Everything ``pods profile`` reports, derived from one RunStats."""
+
+    finish_us: float
+    num_pes: int
+    busy_us: list[float]                  # per-PE EU busy time
+    breakdown: list[dict[str, float]]     # per-PE wait category -> us
+    path: CriticalPath
+    names: dict[int, str]
+
+    @classmethod
+    def from_stats(cls, stats) -> "Profile":
+        """Derive the profile from a RunStats observed with waits on."""
+        if stats.waits is None or stats.timelines is None:
+            raise ValueError(
+                "profiling needs a run observed with ObsConfig(waits=True)")
+        finish = stats.finish_time_us
+        num_pes = stats.num_pes
+        # Clamp to the makespan: chunked EU execution can record a span
+        # that runs past the result's arrival, and the breakdown only
+        # tiles the idle complement of [0, finish].
+        busy = [stats.timelines.line(pe, "EU").busy_between(0.0, finish)
+                for pe in range(num_pes)]
+        breakdown = pe_wait_breakdown(stats.waits, stats.timelines,
+                                      num_pes, finish)
+        path = critical_path(stats.waits, finish)
+        return cls(finish_us=finish, num_pes=num_pes, busy_us=busy,
+                   breakdown=breakdown, path=path,
+                   names=sp_names(stats.waits))
+
+    # -- invariants -----------------------------------------------------
+
+    def accounted_fraction(self, pe: int) -> float:
+        """(busy + attributed waits) / makespan for one PE.
+
+        1.0 by construction (the breakdown tiles the idle complement);
+        the acceptance tests assert >= 0.99."""
+        if self.finish_us <= 0:
+            return 1.0
+        total = self.busy_us[pe] + sum(self.breakdown[pe].values())
+        return total / self.finish_us
+
+    def wait_totals(self) -> dict[str, float]:
+        """Machine-wide wait time per category (summed over PEs)."""
+        out: dict[str, float] = {}
+        for per_pe in self.breakdown:
+            for cat, us in per_pe.items():
+                out[cat] = out.get(cat, 0.0) + us
+        return out
+
+    # -- rendering ------------------------------------------------------
+
+    def render(self, top: int = 10) -> str:
+        lines: list[str] = []
+        cats = list(WAIT_CATEGORIES) + [IDLE]
+        ms = self.finish_us
+        lines.append(f"makespan: {ms / 1e6:.6f} s on {self.num_pes} PE(s)")
+        lines.append("")
+        lines.append("blocked-time breakdown (% of makespan per PE):")
+        header = "  PE   busy  " + "".join(f"{c:>18s}" for c in cats)
+        lines.append(header)
+        for pe in range(self.num_pes):
+            row = f"  {pe:<4d}{self._pct(self.busy_us[pe]):>6s} "
+            for cat in cats:
+                row += f"{self._pct(self.breakdown[pe].get(cat, 0.0)):>18s}"
+            lines.append(row)
+        totals = self.wait_totals()
+        if totals:
+            worst = max(totals, key=lambda c: (totals[c], c))
+            lines.append(
+                f"  dominant wait: {worst} "
+                f"({totals[worst] / 1e6:.6f} s summed over PEs)")
+        lines.append("")
+
+        contrib = self.path.contributions()
+        lines.append(
+            f"critical path: {self.path.total_us / 1e6:.6f} s "
+            f"({len(self.path.steps)} segments)")
+        for kind in [RUN] + cats + ["unattributed"]:
+            us = contrib.get(kind, 0.0)
+            if us <= 0:
+                continue
+            lines.append(f"  {kind:<18s}{us / 1e6:12.6f} s"
+                         f"  ({self._pct(us)} of path)")
+        lines.append("")
+
+        rows = self.path.top_sps(top, self.names)
+        if rows:
+            lines.append(f"top {len(rows)} SPs by critical-path share:")
+            for label, us, share in rows:
+                lines.append(f"  {label:<32s}{us / 1e6:12.6f} s"
+                             f"  ({share * 100:5.1f}%)")
+            lines.append("")
+
+        what_if = self.path.what_if()
+        if what_if:
+            lines.append("what-if (zeroing one category's critical-path "
+                         "contribution):")
+            for cat, predicted, speedup in what_if:
+                lines.append(
+                    f"  no {cat:<18s}-> {predicted / 1e6:.6f} s "
+                    f"({speedup:.2f}x)")
+        else:
+            lines.append("what-if: critical path is pure compute - no "
+                         "wait category to zero")
+        return "\n".join(lines)
+
+    def _pct(self, us: float) -> str:
+        if self.finish_us <= 0:
+            return "0.0%"
+        return f"{us / self.finish_us * 100:.1f}%"

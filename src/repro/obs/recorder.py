@@ -19,12 +19,21 @@ from repro.obs.timeline import TimelineStore
 class ObsRecorder:
     """Collects spans / RF decisions / page touches during one run."""
 
-    __slots__ = ("timelines", "rf_spans", "pages_touched", "metrics")
+    __slots__ = ("timelines", "rf_spans", "pages_touched", "metrics",
+                 "waits")
 
     def __init__(self, num_pes: int, timelines: bool = True,
-                 metrics: bool = True) -> None:
-        self.timelines = TimelineStore(num_pes) if timelines else None
+                 metrics: bool = True, waits: bool = False) -> None:
+        # Wait-state attribution needs the EU busy timelines to derive
+        # the idle complement, so `waits` implies `timelines`.
+        self.timelines = (TimelineStore(num_pes)
+                          if (timelines or waits) else None)
         self.metrics = metrics
+        self.waits = None
+        if waits:
+            from repro.obs.waits import WaitStore
+
+            self.waits = WaitStore()
         # (pe, block, first, last, items) -> execution count
         self.rf_spans: dict[tuple, int] = {}
         # array id -> set of page indices with at least one element written
@@ -101,4 +110,15 @@ class ObsRecorder:
             reg.inc("rf.items", items * count, pe=pe)
         for aid, pages in sorted(self.pages_touched.items()):
             reg.set_gauge("array.pages_touched", len(pages), array=aid)
+        if self.waits is not None and self.timelines is not None:
+            # `wait.us` is the shared cross-backend family: the parallel
+            # executor publishes its deferred-read spin time under the
+            # same name (cause="istructure-defer").
+            from repro.obs.critpath import pe_wait_breakdown
+
+            breakdown = pe_wait_breakdown(self.waits, self.timelines,
+                                          len(pe_stats), finish_us)
+            for pid, per_cause in enumerate(breakdown):
+                for cause, us in sorted(per_cause.items()):
+                    reg.set_gauge("wait.us", us, pe=str(pid), cause=cause)
         return reg

@@ -11,6 +11,16 @@ PE x unit.
 Spans arrive in nondecreasing start order and never overlap within one
 (pe, unit) — both properties fall out of the sequential-server model
 (each unit's next span starts at or after its previous one finished).
+The store is nevertheless defensive about malformed input: zero-length
+and inverted spans are ignored, and a span that starts before the
+current frontier (an out-of-order end) is *clamped* to begin at the
+frontier, so busy time is never double-counted and the derived
+utilizations stay consistent with the coalesced span list.
+
+With ``span_limit`` set, a timeline that reaches the limit stops
+retaining new distinct spans (``truncated``/``dropped`` expose the loss)
+but keeps accumulating ``busy_us`` and keeps coalescing against its last
+retained span — utilization derived across a truncation stays exact.
 """
 
 from __future__ import annotations
@@ -34,23 +44,40 @@ class Span:
 class UnitTimeline:
     """Busy intervals of one unit on one PE, coalesced, in time order."""
 
-    __slots__ = ("starts", "ends", "busy_us")
+    __slots__ = ("starts", "ends", "busy_us", "limit", "dropped")
 
-    def __init__(self) -> None:
+    def __init__(self, limit: int | None = None) -> None:
         self.starts: list[float] = []
         self.ends: list[float] = []
         self.busy_us = 0.0
+        self.limit = limit
+        self.dropped = 0
 
     def add(self, start: float, end: float) -> None:
         if end <= start:
             return
+        if self.ends:
+            frontier = self.ends[-1]
+            if start - frontier <= _COALESCE_EPS:
+                # Adjacent, overlapping, or out-of-order: clamp to the
+                # frontier so overlapping time is counted exactly once.
+                if end > frontier:
+                    self.busy_us += end - frontier
+                    self.ends[-1] = end
+                return
         self.busy_us += end - start
-        if self.ends and start - self.ends[-1] <= _COALESCE_EPS:
-            if end > self.ends[-1]:
-                self.ends[-1] = end
+        if self.limit is not None and len(self.starts) >= self.limit:
+            # Overflow: the busy accumulator stays exact, the span list
+            # stops growing, and the loss is counted — a truncated
+            # timeline must never silently read as complete.
+            self.dropped += 1
             return
         self.starts.append(start)
         self.ends.append(end)
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
 
     def spans(self) -> list[Span]:
         return [Span(s, e) for s, e in zip(self.starts, self.ends)]
@@ -59,7 +86,11 @@ class UnitTimeline:
         return len(self.starts)
 
     def busy_between(self, since: float, until: float) -> float:
-        """Busy time overlapping the window [since, until]."""
+        """Busy time overlapping the window [since, until].
+
+        Computed over the *retained* spans, so it undercounts after a
+        truncation (check ``truncated``); total ``busy_us`` stays exact.
+        """
         total = 0.0
         for s, e in zip(self.starts, self.ends):
             lo = max(s, since)
@@ -68,18 +99,37 @@ class UnitTimeline:
                 total += hi - lo
         return total
 
+    def gaps(self, since: float, until: float) -> list[Span]:
+        """Idle intervals: the complement of the spans over a window."""
+        out: list[Span] = []
+        cursor = since
+        for s, e in zip(self.starts, self.ends):
+            if e <= since:
+                continue
+            if s >= until:
+                break
+            if s > cursor:
+                out.append(Span(cursor, min(s, until)))
+            cursor = max(cursor, e)
+            if cursor >= until:
+                return out
+        if cursor < until:
+            out.append(Span(cursor, until))
+        return out
+
 
 class TimelineStore:
     """All (pe, unit) timelines of one run."""
 
-    def __init__(self, num_pes: int) -> None:
+    def __init__(self, num_pes: int, span_limit: int | None = None) -> None:
         self.num_pes = num_pes
+        self.span_limit = span_limit
         self._lines: dict[tuple[int, str], UnitTimeline] = {}
 
     def span(self, pe: int, unit: str, start: float, end: float) -> None:
         line = self._lines.get((pe, unit))
         if line is None:
-            line = self._lines[(pe, unit)] = UnitTimeline()
+            line = self._lines[(pe, unit)] = UnitTimeline(self.span_limit)
         line.add(start, end)
 
     def line(self, pe: int, unit: str) -> UnitTimeline:
@@ -92,6 +142,14 @@ class TimelineStore:
         """Deterministic (pe, unit, timeline) iteration."""
         return [(pe, unit, line)
                 for (pe, unit), line in sorted(self._lines.items())]
+
+    @property
+    def truncated(self) -> bool:
+        return any(line.truncated for line in self._lines.values())
+
+    @property
+    def dropped(self) -> int:
+        return sum(line.dropped for line in self._lines.values())
 
     # -- derivations ----------------------------------------------------
 

@@ -109,6 +109,12 @@ def telemetry_registry(worker_stats: list[WorkerTelemetry]) -> "MetricsRegistry"
         reg.inc("array.deferred_reads", t.deferred_reads, pe=pe)
         reg.observe("par.spin_wait_s", t.spin_wait_s, pe=pe)
         reg.set_gauge("par.max_spin_wait_s", t.max_spin_wait_s, pe=pe)
+        # Same metric family as the simulator's wait-state attribution
+        # (see ObsRecorder.build_registry): a worker spinning on an
+        # absent shared-array element is the wall-clock counterpart of
+        # the simulator's istructure-defer wait.
+        reg.set_gauge("wait.us", t.spin_wait_s * 1e6, pe=pe,
+                      cause="istructure-defer")
         for name, first, last, items, count in t.rf_subranges:
             reg.inc("rf.subrange", count, pe=pe, block=name,
                     first=first, last=last)

@@ -44,6 +44,9 @@ class MatchToken:
     ctx: CtxKey
     input_index: int
     value: Any
+    # Producer provenance (frame uid of the sending SP) for wait-state
+    # attribution; None for environment-injected tokens.
+    src_sp: int | None = None
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,7 @@ class DirectToken:
     frame_uid: int
     slot: int
     value: Any
+    src_sp: int | None = None
 
 
 Token = MatchToken | DirectToken
@@ -121,6 +125,8 @@ class ValueResponseMsg:
     waiter: ReturnAddress
 
     wire_bytes: int = 32
+    # Uid of the SP whose write satisfied the deferred read, when known.
+    src_sp: int | None = None
 
 
 @dataclass(frozen=True)
@@ -153,6 +159,7 @@ class RemoteWriteMsg:
     value: Any
 
     wire_bytes: int = 32
+    src_sp: int | None = None
 
 
 @dataclass(frozen=True)

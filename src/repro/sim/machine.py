@@ -115,12 +115,15 @@ class Machine:
             self.tracer = Tracer(limit=obs_cfg.trace_limit,
                                  mode=obs_cfg.trace_mode)
         self.obs = None
-        if obs_cfg.metrics or obs_cfg.timelines:
+        if obs_cfg.metrics or obs_cfg.timelines or obs_cfg.waits:
             from repro.obs.recorder import ObsRecorder
 
             self.obs = ObsRecorder(self.mc.num_pes,
                                    timelines=obs_cfg.timelines,
-                                   metrics=obs_cfg.metrics)
+                                   metrics=obs_cfg.metrics,
+                                   waits=obs_cfg.waits)
+        # Wait-state hooks check this one attribute on the hot path.
+        self._waits = self.obs.waits if self.obs is not None else None
 
     # ------------------------------------------------------------------
     # event queue
@@ -176,9 +179,10 @@ class Machine:
                 blocked,
             )
 
-        timelines = registry = None
+        timelines = registry = waits = None
         if self.obs is not None:
             timelines = self.obs.timelines
+            waits = self.obs.waits
             if self.obs.metrics:
                 from repro.sim.stats import UNITS
 
@@ -192,6 +196,7 @@ class Machine:
             max_live_frames=self.max_live_frames,
             timelines=timelines,
             registry=registry,
+            waits=waits,
         )
         return RunResult(value=self._materialize(self.result), stats=stats)
 
@@ -262,16 +267,20 @@ class Machine:
                         pe.match_table.pop(key, None)
                     return
                 slot = self._inputs[token.block_id][token.input_index]
-                self._put_slot(pe, frame, slot, token.value)
+                self._put_slot(pe, frame, slot, token.value,
+                               "token-wait", token.src_sp)
         else:  # DirectToken
             if token.frame_uid == ROOT_UID:
                 self.result = token.value
+                if self._waits is not None:
+                    self._waits.result(self.now, token.src_sp)
                 return
             frame = self.frames.get(token.frame_uid)
             if frame is None or frame.status == DONE:
                 self.late_tokens += 1
                 return
-            self._put_slot(pe, frame, token.slot, token.value)
+            self._put_slot(pe, frame, token.slot, token.value,
+                           "token-wait", token.src_sp)
 
     def _create_frame(self, pe: PE, block_id: int, ctx: tuple) -> Frame:
         template = self.program.templates[block_id]
@@ -290,31 +299,44 @@ class Machine:
             self.tracer.record(self.now, pe.pid, "frame-create",
                                f"{frame.name} uid={uid} ctx={ctx}",
                                unit="MM", sp=uid)
+        if self._waits is not None:
+            parent = ctx[0] if ctx and isinstance(ctx[0], int) else None
+            self._waits.sp_create(pe.pid, uid, self.now, parent, frame.name)
         return frame
 
-    def _put_slot(self, pe: PE, frame: Frame, slot: int, value: Any) -> None:
+    def _put_slot(self, pe: PE, frame: Frame, slot: int, value: Any,
+                  cause: str = "net-queue", src: int | None = None) -> None:
         if frame.status == DONE:
             self.late_tokens += 1
             return
         woke = frame.put(slot, value)
         if woke:
+            if self._waits is not None:
+                self._waits.sp_wake(frame.uid, self.now, cause, src)
             frame.make_ready()
             pe.ready.append(frame)
         if pe.suspended_on == (frame.uid, slot):
             pe.suspended_on = None
+            if self._waits is not None:
+                self._waits.pe_stall_end(pe.pid, self.now)
             self._resume_eu(pe)
         elif woke:
             self._kick_eu(pe)
 
-    def _deliver_waiter(self, waiter: ReturnAddress, value: Any) -> None:
+    def _deliver_waiter(self, waiter: ReturnAddress, value: Any,
+                        cause: str = "net-queue",
+                        src: int | None = None) -> None:
         if waiter.frame_uid == ROOT_UID:
             self.result = value
+            if self._waits is not None:
+                self._waits.result(self.now, src)
             return
         frame = self.frames.get(waiter.frame_uid)
         if frame is None:
             self.late_tokens += 1
             return
-        self._put_slot(self.pes[waiter.pe], frame, waiter.slot, value)
+        self._put_slot(self.pes[waiter.pe], frame, waiter.slot, value,
+                       cause, src)
 
     # ------------------------------------------------------------------
     # Execution Unit
@@ -343,9 +365,14 @@ class Machine:
         # exactly one busy interval of the EU timeline.
         t0 = t
         obs = self.obs
+        waits = self._waits
         queue = self._queue
         stats = pe.stats
         frame = pe.running
+        if waits is not None and frame is not None:
+            # Re-entering with a carried-over SP (after a yield): its run
+            # segment resumes here.
+            waits.sp_run_begin(frame.uid, t)
 
         while True:
             if frame is None:
@@ -360,6 +387,10 @@ class Machine:
                     continue
                 frame.status = RUNNING
                 pe.running = frame
+                if waits is not None:
+                    # Ends the sched-queue wait; the context switch is
+                    # charged to the SP's run time.
+                    waits.sp_run_begin(frame.uid, t)
                 t += T.CONTEXT_SWITCH
                 stats.busy["EU"] += T.CONTEXT_SWITCH
                 stats.context_switches += 1
@@ -370,6 +401,8 @@ class Machine:
                 pe.eu_scheduled = True
                 pe.eu_time = t
                 self.schedule(t, self._eu_step, pe)
+                if waits is not None:
+                    waits.sp_run_end(frame.uid, t)
                 if obs is not None and t > t0:
                     obs.span(pe.pid, "EU", t0, t)
                 return
@@ -377,6 +410,8 @@ class Machine:
             t, frame = self._execute(pe, frame, t)
             if pe.suspended_on is not None:
                 pe.eu_time = t
+                if waits is not None and frame is not None:
+                    waits.sp_run_end(frame.uid, t)
                 if obs is not None and t > t0:
                     obs.span(pe.pid, "EU", t0, t)
                 return
@@ -492,7 +527,8 @@ class Machine:
                     f"{frame.name} pc={frame.pc}: SENDR target is not a "
                     f"return address: {raddr!r}")
             self.schedule(t, self._send_token, pe, raddr.pe,
-                          DirectToken(raddr.frame_uid, raddr.slot, bv))
+                          DirectToken(raddr.frame_uid, raddr.slot, bv,
+                                      src_sp=frame.uid))
             frame.pc += 1
             busy["EU"] += T.INT_ADD
             return t + T.INT_ADD, frame
@@ -515,11 +551,15 @@ class Machine:
                                f"{frame.name} uid={frame.uid} slot={slot}",
                                unit="EU", sp=frame.uid)
         frame.block_on_slot(slot)
+        if self._waits is not None:
+            self._waits.sp_block(frame.uid, t)
         pe.running = None
         return t, None
 
     def _block_on_header(self, pe: PE, frame: Frame, array_id: int, t: float):
         frame.block_on_header(array_id)
+        if self._waits is not None:
+            self._waits.sp_block(frame.uid, t)
         pe.header_waiters.setdefault(array_id, []).append(frame)
         pe.running = None
         return t, None
@@ -531,6 +571,8 @@ class Machine:
                                unit="EU", sp=frame.uid)
         frame.status = DONE
         pe.running = None
+        if self._waits is not None:
+            self._waits.sp_end(frame.uid, t)
         pe.stats.frames_destroyed += 1
         pe.live_frames -= 1
         ctx = frame.ctx
@@ -541,6 +583,10 @@ class Machine:
                 parent.outstanding_children -= 1
                 if parent.budget_blocked:
                     parent.budget_blocked = False
+                    if self._waits is not None:
+                        # The retiring child freed the budget slot.
+                        self._waits.sp_wake(parent.uid, t,
+                                            "sched-queue", frame.uid)
                     parent.make_ready()
                     parent_pe = self.pes[parent.pe]
                     parent_pe.ready.append(parent)
@@ -588,7 +634,7 @@ class Machine:
             return self._block_on_header(pe, frame, av.id, t)
         _, offset = prep
         self.schedule(t + T.UNIT_SIGNAL, self._am_write, pe, av.id,
-                      offset, bv)
+                      offset, bv, False, frame.uid)
         frame.pc += 1
         pe.stats.busy["EU"] += T.LOCAL_ARRAY_ACCESS
         return t + T.LOCAL_ARRAY_ACCESS, frame
@@ -633,6 +679,8 @@ class Machine:
             frame.waiting_slot = None
             frame.waiting_header = None
             frame.budget_blocked = True
+            if self._waits is not None:
+                self._waits.sp_block(frame.uid, t)
             pe.running = None
             return t, None
         if counted:
@@ -647,7 +695,7 @@ class Machine:
         for k, rslot in enumerate(instr.result_slots):
             payload.append(ReturnAddress(pe.pid, frame.uid, rslot))
 
-        tokens = tuple(MatchToken(block, ctx, i, value)
+        tokens = tuple(MatchToken(block, ctx, i, value, src_sp=frame.uid)
                        for i, value in enumerate(payload))
         if instr.distributed and self.mc.num_pes > 1:
             # LD operator: replicate over all PEs via the binomial
@@ -759,7 +807,7 @@ class Machine:
             self._am_value_response(pe, msg)
         elif isinstance(msg, RemoteWriteMsg):
             self._am_write(pe, msg.array_id, msg.offset, msg.value,
-                           forwarded=True)
+                           forwarded=True, writer=msg.src_sp)
         elif isinstance(msg, AllocRequestMsg):
             self._am_install_remote(pe, msg)
         else:
@@ -799,6 +847,9 @@ class Machine:
         if waiters:
             for frame in waiters:
                 if frame.status == BLOCKED and frame.waiting_header == aid:
+                    if self._waits is not None:
+                        self._waits.sp_wake(frame.uid, self.now,
+                                            "net-queue", None)
                     frame.make_ready()
                     pe.ready.append(frame)
             self._kick_eu(pe)
@@ -847,6 +898,8 @@ class Machine:
             # the bound the EU yields to other SPs.
             key = (waiter.frame_uid, waiter.slot)
             pe.suspended_on = key
+            if self._waits is not None:
+                self._waits.pe_stall_begin(pe.pid, self.now)
             bound = 2.0 * T.message_latency(32) + T.message_latency(
                 self.mc.page_size * self.mc.element_bytes + 32)
             self.schedule(self.now + bound, self._suspend_timeout, pe, key)
@@ -854,6 +907,8 @@ class Machine:
     def _suspend_timeout(self, pe: PE, key: tuple) -> None:
         if pe.suspended_on == key:
             pe.suspended_on = None
+            if self._waits is not None:
+                self._waits.pe_stall_end(pe.pid, self.now)
             self._resume_eu(pe)
 
     def _am_remote_read_request(self, pe: PE, msg: ReadRequestMsg) -> None:
@@ -895,7 +950,8 @@ class Machine:
             raise ExecutionError(
                 "page response does not contain the requested element "
                 f"(array {msg.array_id} offset {msg.offset})")
-        self.schedule(done, self._deliver_waiter, msg.waiter, value)
+        self.schedule(done, self._deliver_waiter, msg.waiter, value,
+                      "remote-read", None)
 
     def _am_value_response(self, pe: PE, msg: ValueResponseMsg) -> None:
         done = self._serve(pe, "am_free", "AM", T.MEM_WRITE)
@@ -907,14 +963,15 @@ class Machine:
                     msg.array_id, page, page * header.page_size,
                     header.page_size, msg.offset, msg.value,
                 )
-        self.schedule(done, self._deliver_waiter, msg.waiter, msg.value)
+        self.schedule(done, self._deliver_waiter, msg.waiter, msg.value,
+                      "istructure-defer", msg.src_sp)
 
     def _am_write(self, pe: PE, aid: int, offset: int, value: Any,
-                  forwarded: bool = False) -> None:
+                  forwarded: bool = False, writer: int | None = None) -> None:
         header = pe.headers.get(aid)
         if header is None:
             self.schedule(self.now + T.ALLOC_ARRAY, self._am_write, pe, aid,
-                          offset, value, forwarded)
+                          offset, value, forwarded, writer)
             return
         if header.is_local(offset, pe.pid):
             pe.stats.array_writes_local += 1
@@ -926,10 +983,11 @@ class Machine:
                                T.am_array_write(len(woken)))
             for waiter in woken:
                 if waiter.pe == pe.pid:
-                    self.schedule(done, self._deliver_waiter, waiter, value)
+                    self.schedule(done, self._deliver_waiter, waiter, value,
+                                  "istructure-defer", writer)
                 else:
                     reply = ValueResponseMsg(pe.pid, waiter.pe, aid, offset,
-                                             value, waiter)
+                                             value, waiter, src_sp=writer)
                     self.schedule(done, self._send_msg, pe, reply)
             return
         # Index-space responsibility differs from data ownership: forward
@@ -937,7 +995,8 @@ class Machine:
         pe.stats.array_writes_remote += 1
         done = self._serve(pe, "am_free", "AM", T.MEM_WRITE + T.UNIT_SIGNAL)
         owner = header.owner_of_offset(offset)
-        msg = RemoteWriteMsg(pe.pid, owner, aid, offset, value)
+        msg = RemoteWriteMsg(pe.pid, owner, aid, offset, value,
+                             src_sp=writer)
         self.schedule(done, self._send_msg, pe, msg)
 
 

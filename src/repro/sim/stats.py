@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # no runtime dependency on repro.obs
     from repro.obs.registry import MetricsRegistry
     from repro.obs.timeline import TimelineStore
+    from repro.obs.waits import WaitStore
 
 UNITS = ("EU", "MU", "RU", "AM", "MM")
 
@@ -65,6 +66,7 @@ class RunStats:
     max_live_frames: int = 0  # high-water mark of live SPs on any one PE
     timelines: "TimelineStore | None" = None
     registry: "MetricsRegistry | None" = None
+    waits: "WaitStore | None" = None
 
     # -- utilizations ---------------------------------------------------
 

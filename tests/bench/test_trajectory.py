@@ -1,0 +1,202 @@
+"""BENCH_<name>.json trajectory documents: schema, IO, comparator, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import trajectory
+
+
+def doc(**overrides):
+    base = {
+        "schema": trajectory.SCHEMA,
+        "name": "smoke",
+        "config": {"size": 8, "steps": 1},
+        "wall_s": 1.5,
+        "points": [
+            {"label": "8x8@1", "pes": 1, "time_us": 1000.0,
+             "speedup": 1.0, "critical_path_us": 1000.0,
+             "utilization": {"EU": 0.7}},
+            {"label": "8x8@2", "pes": 2, "time_us": 600.0,
+             "speedup": 1.67, "critical_path_us": 580.0},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestValidate:
+    def test_valid_document(self):
+        assert trajectory.validate(doc()) == []
+
+    def test_make_doc_round_trip(self):
+        d = trajectory.make_doc("smoke", {"size": 8},
+                                doc()["points"], wall_s=0.1)
+        assert d["schema"] == trajectory.SCHEMA
+        assert trajectory.validate(d) == []
+
+    @pytest.mark.parametrize("mutation, needle", [
+        ({"schema": "bogus/v9"}, "schema"),
+        ({"name": ""}, "name"),
+        ({"config": {"nested": {"no": 1}}}, "scalar"),
+        ({"wall_s": "fast"}, "wall_s"),
+        ({"points": []}, "points"),
+        ({"points": [{"label": "a", "pes": 0, "time_us": 1.0}]}, "pes"),
+        ({"points": [{"label": "a", "pes": 1}]}, "time_us"),
+        ({"points": [{"label": "", "pes": 1, "time_us": 1.0}]}, "label"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": 1.0},
+                     {"label": "a", "pes": 2, "time_us": 1.0}]},
+         "duplicate"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": 1.0,
+                      "utilization": {"EU": "high"}}]}, "utilization"),
+    ])
+    def test_invalid_documents(self, mutation, needle):
+        problems = trajectory.validate(doc(**mutation))
+        assert problems
+        assert any(needle in p for p in problems)
+
+    def test_make_doc_rejects_invalid(self):
+        with pytest.raises(ValueError, match="invalid bench document"):
+            trajectory.make_doc("smoke", {}, [])
+
+
+class TestIO:
+    def test_save_and_load(self, tmp_path):
+        path = trajectory.save(doc(), directory=str(tmp_path))
+        assert path.endswith("BENCH_smoke.json")
+        loaded = trajectory.load(path)
+        assert loaded == doc()
+
+    def test_save_is_deterministic(self, tmp_path):
+        a = trajectory.save(doc(), directory=str(tmp_path / "a"))
+        b = trajectory.save(doc(), directory=str(tmp_path / "b"))
+        assert open(a).read() == open(b).read()
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps(doc(schema="bogus")))
+        with pytest.raises(ValueError):
+            trajectory.load(str(path))
+
+
+class TestCompare:
+    def test_no_change(self):
+        cmp = trajectory.compare(doc(), doc())
+        assert cmp.ok
+        assert not cmp.regressions and not cmp.improvements
+        assert "no change beyond tolerance" in cmp.render()
+
+    def test_time_regression_flagged(self):
+        cur = doc()
+        cur["points"][0]["time_us"] = 1100.0     # +10% > 2% tolerance
+        cmp = trajectory.compare(doc(), cur)
+        assert not cmp.ok
+        assert any("time_us" in r and "8x8@1" in r for r in cmp.regressions)
+        assert "REGRESSION" in cmp.render()
+
+    def test_speedup_shrink_flagged(self):
+        cur = doc()
+        cur["points"][1]["speedup"] = 1.2
+        cmp = trajectory.compare(doc(), cur)
+        assert any("speedup" in r for r in cmp.regressions)
+
+    def test_improvement_not_a_regression(self):
+        cur = doc()
+        cur["points"][0]["time_us"] = 800.0
+        cur["points"][0]["critical_path_us"] = 700.0
+        cmp = trajectory.compare(doc(), cur)
+        assert cmp.ok
+        assert len(cmp.improvements) == 2
+
+    def test_within_tolerance_is_quiet(self):
+        cur = doc()
+        cur["points"][0]["time_us"] = 1010.0     # +1% < 2%
+        cmp = trajectory.compare(doc(), cur)
+        assert cmp.ok and not cmp.improvements
+
+    def test_config_change_downgrades_to_note(self):
+        cur = doc(config={"size": 16, "steps": 1})
+        cur["points"][0]["time_us"] = 4000.0
+        cmp = trajectory.compare(doc(), cur)
+        assert cmp.ok
+        assert any("config changed" in n for n in cmp.notes)
+
+    def test_new_and_disappeared_points_are_notes(self):
+        cur = doc()
+        cur["points"] = [cur["points"][0],
+                         {"label": "8x8@4", "pes": 4, "time_us": 400.0}]
+        cmp = trajectory.compare(doc(), cur)
+        assert cmp.ok
+        assert any("new point" in n for n in cmp.notes)
+        assert any("disappeared" in n for n in cmp.notes)
+
+    def test_wall_clock_never_gates(self):
+        cur = doc(wall_s=30.0)                   # 20x slower host
+        cmp = trajectory.compare(doc(), cur)
+        assert cmp.ok
+        assert any("never gates" in n for n in cmp.notes)
+
+    def test_rtol_is_respected(self):
+        cur = doc()
+        cur["points"][0]["time_us"] = 1100.0
+        assert trajectory.compare(doc(), cur, rtol=0.2).ok
+        assert not trajectory.compare(doc(), cur, rtol=0.05).ok
+
+
+class TestCli:
+    def test_validate_ok(self, tmp_path, capsys):
+        path = trajectory.save(doc(), directory=str(tmp_path))
+        assert trajectory.main(["validate", path]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_bad(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps(doc(name="")))
+        assert trajectory.main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_compare_regression_exit_codes(self, tmp_path, capsys):
+        prev = trajectory.save(doc(), directory=str(tmp_path / "prev"))
+        bad = doc()
+        bad["points"][0]["time_us"] = 2000.0
+        cur = trajectory.save(bad, directory=str(tmp_path / "cur"))
+        assert trajectory.main(["compare", prev, cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # --report-only (the CI mode) downgrades to exit 0.
+        assert trajectory.main(["compare", prev, cur,
+                                "--report-only"]) == 0
+
+    def test_compare_clean_exit(self, tmp_path, capsys):
+        prev = trajectory.save(doc(), directory=str(tmp_path / "prev"))
+        cur = trajectory.save(doc(), directory=str(tmp_path / "cur"))
+        assert trajectory.main(["compare", prev, cur]) == 0
+
+
+class TestHarnessIntegration:
+    def test_profiled_sweep_points_fit_schema(self):
+        from repro.apps.simple_app import compile_simple
+        from repro.bench.harness import profiled_sweep
+
+        program = compile_simple()
+        points = profiled_sweep(program, (4, 1), [1, 2], label="4x4")
+        d = trajectory.make_doc("sweep_test", {"size": 4, "steps": 1},
+                                points)
+        assert trajectory.validate(d) == []
+        assert [p["label"] for p in points] == ["4x4@1", "4x4@2"]
+        assert points[0]["speedup"] == pytest.approx(1.0)
+        for p in points:
+            assert p["critical_path_us"] == pytest.approx(
+                p["time_us"], rel=0.01)
+
+    def test_harness_cli_writes_bench_json(self, tmp_path, capsys):
+        from repro.bench.harness import main
+
+        assert main(["--size", "4", "--steps", "1", "--pes", "1",
+                     "--json", "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        loaded = trajectory.load(str(tmp_path / "BENCH_simple_smoke.json"))
+        assert loaded["config"]["size"] == 4
+        assert len(loaded["points"]) == 1

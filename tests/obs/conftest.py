@@ -27,16 +27,20 @@ function main(n) {
 
 
 def run_observed(source: str = FILL_AND_SUM, args: tuple = (3,),
-                 num_pes: int = 2, jitter_seed: int | None = None):
+                 num_pes: int = 2, jitter_seed: int | None = None,
+                 waits: bool = False):
     """Compile + run with metrics, timelines and tracing all on.
 
     Returns (machine, result); the machine exposes the tracer, the
-    result's stats carry the timelines and the metrics registry.
+    result's stats carry the timelines and the metrics registry.  With
+    ``waits=True`` the wait-state recorder is on too and
+    ``result.stats.waits`` holds the WaitStore.
     """
     program = compile_source(source)
     config = SimConfig(
         machine=MachineConfig(num_pes=num_pes),
-        obs=ObsConfig(metrics=True, timelines=True, trace=True),
+        obs=ObsConfig(metrics=True, timelines=True, trace=True,
+                      waits=waits),
         jitter_seed=jitter_seed,
     )
     machine = Machine(program.pods, config)
@@ -47,3 +51,9 @@ def run_observed(source: str = FILL_AND_SUM, args: tuple = (3,),
 @pytest.fixture(scope="module")
 def observed_run():
     return run_observed()
+
+
+@pytest.fixture(scope="module")
+def waits_run():
+    """A 4-PE fill-and-sum run with wait-state attribution enabled."""
+    return run_observed(args=(4,), num_pes=4, waits=True)

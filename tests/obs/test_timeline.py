@@ -38,6 +38,96 @@ class TestUnitTimeline:
         assert line.busy_between(11.0, 19.0) == 0.0
 
 
+class TestEdgeCases:
+    """Malformed and overflowing input: the store must stay consistent
+    (busy time exact, spans ordered, loss visible) no matter what."""
+
+    def test_zero_length_span_between_real_spans(self):
+        line = UnitTimeline()
+        line.add(0.0, 1.0)
+        line.add(1.5, 1.5)     # zero-length: no span, no busy time
+        line.add(2.0, 3.0)
+        assert [(s.start, s.end) for s in line.spans()] == [(0, 1), (2, 3)]
+        assert line.busy_us == pytest.approx(2.0)
+
+    def test_out_of_order_end_clamped_to_frontier(self):
+        # A span starting before the previous end (out-of-order end
+        # event) is clamped: the overlap is never double-counted.
+        line = UnitTimeline()
+        line.add(0.0, 5.0)
+        line.add(3.0, 8.0)     # overlaps [3, 5]
+        assert len(line) == 1
+        assert line.spans()[0].end == 8.0
+        assert line.busy_us == pytest.approx(8.0)
+
+    def test_out_of_order_end_fully_contained(self):
+        line = UnitTimeline()
+        line.add(0.0, 5.0)
+        line.add(1.0, 4.0)     # entirely inside the frontier: no-op
+        assert len(line) == 1
+        assert line.busy_us == pytest.approx(5.0)
+
+    def test_overflow_counts_drops_and_keeps_busy_exact(self):
+        line = UnitTimeline(limit=2)
+        line.add(0.0, 1.0)
+        line.add(2.0, 3.0)
+        line.add(4.0, 5.0)     # over the limit: dropped from the list
+        line.add(6.0, 7.0)
+        assert len(line) == 2
+        assert line.truncated and line.dropped == 2
+        assert line.busy_us == pytest.approx(4.0)   # still exact
+        # Derived busy over the retained window undercounts — the
+        # truncated flag is the tell.
+        assert line.busy_between(0.0, 10.0) == pytest.approx(2.0)
+
+    def test_coalescing_across_overflow_truncation(self):
+        # A span adjacent to the last *retained* span keeps coalescing
+        # into it even once the limit is hit: no drop, busy stays exact.
+        line = UnitTimeline(limit=1)
+        line.add(0.0, 1.0)
+        line.add(1.0, 2.0)     # coalesces, limit not consulted
+        line.add(2.0, 3.0)
+        assert len(line) == 1
+        assert line.spans()[0].end == 3.0
+        assert line.busy_us == pytest.approx(3.0)
+        assert not line.truncated
+        line.add(5.0, 6.0)     # distinct: this one drops
+        assert line.truncated and line.dropped == 1
+        assert line.busy_us == pytest.approx(4.0)
+        line.add(6.0, 7.0)     # adjacent to the *dropped* span, but the
+        # retained frontier is 3.0 — recorded as a drop, not a bogus
+        # coalesce that would stretch the retained span over idle time.
+        assert line.dropped == 2
+        assert line.spans()[0].end == 3.0
+        assert line.busy_us == pytest.approx(5.0)
+
+    def test_gaps_complement_spans(self):
+        line = UnitTimeline()
+        line.add(1.0, 2.0)
+        line.add(4.0, 6.0)
+        gaps = [(g.start, g.end) for g in line.gaps(0.0, 8.0)]
+        assert gaps == [(0.0, 1.0), (2.0, 4.0), (6.0, 8.0)]
+        total = line.busy_between(0.0, 8.0) + sum(e - s for s, e in gaps)
+        assert total == pytest.approx(8.0)
+
+    def test_gaps_with_span_crossing_window_end(self):
+        line = UnitTimeline()
+        line.add(3.0, 12.0)    # runs past the window
+        gaps = [(g.start, g.end) for g in line.gaps(0.0, 10.0)]
+        assert gaps == [(0.0, 3.0)]
+
+    def test_gaps_of_empty_timeline_is_whole_window(self):
+        line = UnitTimeline()
+        assert [(g.start, g.end) for g in line.gaps(2.0, 5.0)] == [(2.0, 5.0)]
+
+    def test_store_propagates_span_limit(self):
+        store = TimelineStore(num_pes=1, span_limit=1)
+        store.span(0, "EU", 0.0, 1.0)
+        store.span(0, "EU", 2.0, 3.0)
+        assert store.truncated and store.dropped == 1
+        assert store.busy("EU") == pytest.approx(2.0)
+
+
 class TestTimelineStore:
     def test_busy_and_utilization(self):
         store = TimelineStore(num_pes=2)

@@ -1,0 +1,253 @@
+"""Wait-state attribution and the critical-path profiler.
+
+The acceptance properties of PR 3: per-PE busy + wait spans account for
+(at least) 99% of simulated time, and the extracted critical path's
+total length equals the run's makespan within 1%.  Both actually hold
+exactly by construction; the tests assert the looser contract plus the
+tight one so a future refactor that only *approximately* tiles time
+still fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.critpath import (
+    IDLE,
+    critical_path,
+    pe_wait_breakdown,
+    pe_wait_intervals,
+    sp_names,
+)
+from repro.obs.profile import Profile
+from repro.obs.waits import RUN, WAIT_CATEGORIES, SpRecord, WaitStore
+
+
+class TestSpRecord:
+    def test_lifecycle_alternates_run_and_wait(self):
+        rec = SpRecord(uid=1, name="f", pe=0, created_at=0.0, parent=None)
+        rec.run_begin(2.0)          # sched-queue 0..2
+        rec.block(5.0)              # run 2..5
+        rec.wake(9.0, "token-wait", resolver=7)
+        rec.run_begin(9.0)
+        rec.end(11.0)               # run 9..11
+        assert rec.segments == [
+            (0.0, 2.0, "sched-queue", None),
+            (2.0, 5.0, RUN, None),
+            (5.0, 9.0, "token-wait", 7),
+            (9.0, 11.0, RUN, None),
+        ]
+        assert rec.run_us() == pytest.approx(5.0)
+        assert rec.wait_us() == {"sched-queue": 2.0, "token-wait": 4.0}
+
+    def test_zero_length_segments_dropped(self):
+        rec = SpRecord(uid=1, name="f", pe=0, created_at=3.0, parent=None)
+        rec.run_begin(3.0)          # zero-length sched wait: dropped
+        rec.block(3.0)              # zero-length run: dropped
+        rec.wake(6.0, "istructure-defer", resolver=None)
+        rec.run_begin(6.0)
+        rec.end(6.0)
+        assert rec.segments == [(3.0, 6.0, "istructure-defer", None)]
+
+    def test_wake_clamps_out_of_order_time(self):
+        # A wake timestamped before the block must not create a
+        # negative-length segment.
+        rec = SpRecord(uid=1, name="f", pe=0, created_at=0.0, parent=None)
+        rec.run_begin(0.0)
+        rec.block(5.0)
+        rec.wake(4.0, "net-queue", resolver=None)
+        rec.run_begin(8.0)
+        rec.end(9.0)
+        for s, e, _, _ in rec.segments:
+            assert e >= s
+
+    def test_adjacent_same_cause_waits_coalesce(self):
+        rec = SpRecord(uid=1, name="f", pe=0, created_at=0.0, parent=None)
+        rec.run_begin(0.0)
+        rec.block(1.0)
+        rec.wake(2.0, "token-wait", resolver=4)
+        # Immediately re-blocked on the same producer, no run between.
+        rec.block(2.0)
+        rec.wake(3.0, "token-wait", resolver=4)
+        rec.run_begin(3.0)
+        rec.end(4.0)
+        kinds = [(k, r) for _, _, k, r in rec.segments]
+        assert kinds.count(("token-wait", 4)) == 1
+        assert rec.wait_us()["token-wait"] == pytest.approx(2.0)
+
+
+class TestWaitStore:
+    def test_pe_stalls_become_remote_read_spans(self):
+        store = WaitStore()
+        store.pe_stall_begin(0, 1.0)
+        store.pe_stall_end(0, 4.0)
+        store.pe_stall_begin(0, 4.0)   # zero-length stall: dropped
+        store.pe_stall_end(0, 4.0)
+        assert store.pe_wait_spans(0) == [(1.0, 4.0, "remote-read")]
+        assert store.pe_wait_spans(1) == []
+
+    def test_final_sp_prefers_result_producer(self):
+        store = WaitStore()
+        store.sp_create(0, 1, 0.0, None, "main")
+        store.sp_create(0, 2, 0.0, 1, "main.for_i")
+        store.sp_end(1, 5.0)
+        store.sp_end(2, 9.0)
+        assert store.final_sp() == 2       # last to end
+        store.result(9.0, 1)
+        assert store.final_sp() == 1       # explicit producer wins
+
+    def test_hooks_ignore_unknown_uids(self):
+        store = WaitStore()
+        store.sp_run_begin(42, 1.0)
+        store.sp_block(42, 2.0)
+        store.sp_wake(42, 3.0, "token-wait")
+        store.sp_end(42, 4.0)
+        assert store.records() == []
+
+
+class TestSimulatedRun:
+    """Properties of a real 4-PE fill-and-sum run (module fixture)."""
+
+    def test_waits_recorded(self, waits_run):
+        _, result = waits_run
+        waits = result.stats.waits
+        assert waits is not None
+        recs = waits.records()
+        assert len(recs) > 4                       # main + loop SPs
+        cats = {k for r in recs for _, _, k, _ in r.segments if k != RUN}
+        assert "token-wait" in cats
+        assert cats <= set(WAIT_CATEGORIES)
+
+    def test_segments_well_formed(self, waits_run):
+        _, result = waits_run
+        finish = result.stats.finish_time_us
+        for rec in result.stats.waits.records():
+            prev_end = rec.created_at
+            for s, e, kind, _ in rec.segments:
+                assert e > s
+                assert s >= prev_end - 1e-9        # ordered, no overlap
+                # Trailing drain events may run slightly past the result's
+                # arrival, but must start inside the run.
+                assert 0.0 <= s <= finish + 1e-9
+                assert kind == RUN or kind in WAIT_CATEGORIES
+                prev_end = e
+
+    def test_busy_plus_waits_accounts_for_makespan(self, waits_run):
+        """Acceptance: per-PE busy + wait spans cover >= 99% of the
+        simulated time (they tile it exactly)."""
+        _, result = waits_run
+        profile = Profile.from_stats(result.stats)
+        for pe in range(profile.num_pes):
+            frac = profile.accounted_fraction(pe)
+            assert frac >= 0.99
+            assert frac == pytest.approx(1.0, abs=1e-6)
+
+    def test_pe_wait_intervals_tile_the_gaps(self, waits_run):
+        _, result = waits_run
+        stats = result.stats
+        finish = stats.finish_time_us
+        for pe in range(stats.num_pes):
+            intervals = pe_wait_intervals(stats.waits, stats.timelines,
+                                          pe, finish)
+            prev = 0.0
+            for s, e, cat in intervals:
+                assert e > s
+                assert s >= prev - 1e-9
+                assert cat in WAIT_CATEGORIES or cat == IDLE
+                prev = e
+            covered = sum(e - s for s, e, _ in intervals)
+            busy = stats.timelines.line(pe, "EU").busy_between(0.0, finish)
+            assert covered + busy == pytest.approx(finish, rel=1e-9)
+
+    def test_breakdown_matches_intervals(self, waits_run):
+        _, result = waits_run
+        stats = result.stats
+        rows = pe_wait_breakdown(stats.waits, stats.timelines,
+                                 stats.num_pes, stats.finish_time_us)
+        assert len(rows) == stats.num_pes
+        for pe, row in enumerate(rows):
+            intervals = pe_wait_intervals(stats.waits, stats.timelines,
+                                          pe, stats.finish_time_us)
+            for cat in list(row):
+                ref = sum(e - s for s, e, c in intervals if c == cat)
+                assert row[cat] == pytest.approx(ref, rel=1e-9)
+
+    def test_critical_path_equals_makespan(self, waits_run):
+        """Acceptance: the critical path's total length equals the run's
+        makespan within 1% (it equals it exactly)."""
+        _, result = waits_run
+        makespan = result.stats.finish_time_us
+        path = critical_path(result.stats.waits, makespan)
+        assert path.total_us == pytest.approx(makespan, rel=0.01)
+        assert path.total_us == pytest.approx(makespan, rel=1e-6)
+        # The steps tile [0, makespan] back to front.
+        assert path.steps[0].start == pytest.approx(0.0, abs=1e-9)
+        assert path.steps[-1].end == pytest.approx(makespan, rel=1e-9)
+        for a, b in zip(path.steps, path.steps[1:]):
+            assert b.start == pytest.approx(a.end, rel=1e-9, abs=1e-9)
+
+    def test_critical_path_fully_attributed(self, waits_run):
+        _, result = waits_run
+        path = critical_path(result.stats.waits,
+                             result.stats.finish_time_us)
+        contrib = path.contributions()
+        assert contrib.get("unattributed", 0.0) == pytest.approx(0.0)
+        assert sum(contrib.values()) == pytest.approx(path.total_us,
+                                                      rel=1e-9)
+        assert contrib.get(RUN, 0.0) > 0.0
+
+    def test_what_if_estimates_are_sane(self, waits_run):
+        _, result = waits_run
+        path = critical_path(result.stats.waits,
+                             result.stats.finish_time_us)
+        for cat, predicted, speedup in path.what_if():
+            assert cat in WAIT_CATEGORIES
+            assert 0.0 < predicted <= path.total_us + 1e-9
+            assert speedup >= 1.0 - 1e-9
+            assert speedup == pytest.approx(path.total_us / predicted)
+
+    def test_top_sps_named(self, waits_run):
+        _, result = waits_run
+        stats = result.stats
+        path = critical_path(stats.waits, stats.finish_time_us)
+        top = path.top_sps(3, sp_names(stats.waits))
+        assert 0 < len(top) <= 3
+        # Sorted by critical-path share, named after real frames.
+        path_us = [us for _, us, _ in top]
+        assert path_us == sorted(path_us, reverse=True)
+        for label, us, share in top:
+            assert label
+            assert us > 0.0
+            assert 0.0 < share <= 1.0
+
+    def test_wait_metric_family_in_registry(self, waits_run):
+        """metrics + waits => per-(pe, cause) wait.us gauges, the family
+        the parallel backend's telemetry shares."""
+        _, result = waits_run
+        registry = result.stats.registry
+        rows = registry.select("wait.us")
+        assert rows
+        for row in rows:
+            labels = row.labels_dict()
+            assert labels["cause"] in WAIT_CATEGORIES + (IDLE,)
+            assert row.value >= 0.0
+
+    def test_profile_render(self, waits_run):
+        _, result = waits_run
+        text = Profile.from_stats(result.stats).render(top=5)
+        assert "blocked-time breakdown" in text
+        assert "critical path" in text
+        assert "what-if" in text
+        for cat in WAIT_CATEGORIES:
+            assert cat in text
+
+    def test_profile_requires_waits(self, observed_run):
+        _, result = observed_run       # metrics+timelines, no waits
+        with pytest.raises(ValueError):
+            Profile.from_stats(result.stats)
+
+
+class TestZeroCostWhenOff:
+    def test_waits_off_by_default(self, observed_run):
+        _, result = observed_run
+        assert result.stats.waits is None

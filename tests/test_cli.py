@@ -130,6 +130,31 @@ class TestTraceAndOptimize:
         assert main(["run", program_file, "--args", "5", "--optimize"]) == 0
         assert "value: 55" in capsys.readouterr().out
 
+    def test_trace_summary_has_blocked_causes(self, program_file, capsys):
+        assert main(["trace", program_file, "--args", "5", "--pes", "2",
+                     "--format", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked causes (us per PE):" in out
+        assert "token-wait" in out
+
+
+class TestProfile:
+    def test_profile_subcommand(self, program_file, capsys):
+        assert main(["profile", program_file, "--args", "5",
+                     "--pes", "2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        assert "blocked-time breakdown" in out
+        assert "critical path" in out
+        assert "what-if" in out
+
+    def test_profile_writes_output_file(self, program_file, tmp_path,
+                                        capsys):
+        dest = tmp_path / "profile.txt"
+        assert main(["profile", program_file, "--args", "5",
+                     "-o", str(dest)]) == 0
+        assert "critical path" in dest.read_text()
+
 
 class TestFormat:
     def test_format_round_trips(self, program_file, capsys):
