@@ -61,10 +61,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"value: {result.value}")
         print(f"modeled time: {result.time_s:.6f} s on {args.pes} PEs")
     elif args.backend == "parallel":
-        result = program.run_parallel(call_args, workers=args.pes)
+        from repro.common.config import ParallelConfig
+
+        cfg = ParallelConfig(workers=args.pes,
+                             recovery=not args.no_recovery,
+                             max_retries_per_worker=args.retries)
+        result = program.run_parallel(call_args, config=cfg,
+                                      faults=args.faults)
         print(f"value: {result.value}")
         print(f"wall time: {result.wall_time_s:.3f} s on {result.workers} "
               "workers")
+        if result.recovery is not None and result.recovery.events:
+            print(result.recovery_table())
+        if args.trace_json:
+            from repro.obs.export import parallel_trace_json
+
+            with open(args.trace_json, "w") as fh:
+                fh.write(parallel_trace_json(result) + "\n")
+            print(f"wrote {args.trace_json}")
     else:
         result = program.run_pods(call_args, num_pes=args.pes)
         print(f"value: {result.value}")
@@ -202,6 +216,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     program = _load(args.file, optimize=args.optimize)
     call_args = tuple(_parse_value(a) for a in (args.args or []))
+    if args.backend == "parallel":
+        from repro.obs.profile import parallel_profile
+
+        result = program.run_parallel(call_args, workers=args.pes)
+        text = f"value: {result.value}\n\n" + parallel_profile(result)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
     obs = ObsConfig(metrics=True, timelines=True, waits=True)
     config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs)
     machine = Machine(program.pods, config)
@@ -269,6 +295,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the machine statistics report")
     run.add_argument("--optimize", action="store_true",
                      help="enable CSE + invariant hoisting + DCE")
+    run.add_argument("--retries", type=int, default=2,
+                     help="parallel backend: respawns allowed per worker "
+                          "before degraded-mode takeover (default 2)")
+    run.add_argument("--no-recovery", action="store_true",
+                     help="parallel backend: fail fast on the first worker "
+                          "failure instead of self-healing")
+    run.add_argument("--faults",
+                     help="parallel backend: fault-injection spec, e.g. "
+                          "'kill:worker=1,on=write,after=5'")
+    run.add_argument("--trace-json",
+                     help="parallel backend: write a Perfetto trace (with "
+                          "recovery spans) to this path")
     run.set_defaults(func=_cmd_run)
 
     listing = sub.add_parser("listing", help="show the SP assembly listing")
@@ -320,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("file")
     prof.add_argument("--args", nargs="*", help="main() arguments")
     prof.add_argument("--pes", type=int, default=2)
+    prof.add_argument("--backend", default="pods",
+                      choices=["pods", "parallel"],
+                      help="pods = simulator critical path (default); "
+                           "parallel = real-worker telemetry + recovery "
+                           "table")
     prof.add_argument("--top", type=int, default=10,
                       help="SPs to list by critical-path share (default 10)")
     prof.add_argument("--optimize", action="store_true",

@@ -82,8 +82,33 @@ class ParallelConfig:
             message before declaring the worker crashed/lost (the queue
             feeder thread flushes asynchronously with process exit).
         read_timeout_s: Deferred-read spin bound inside workers; a read
-            of a never-written element raises a deadlock diagnostic
-            after this long.
+            of a never-written element raises a structured
+            :class:`repro.common.errors.DeferredReadTimeout` after this
+            long.
+        spin_ceiling_s: Per-spin escalation bound, distinct from (and
+            normally much smaller than) ``read_timeout_s``: a deferred
+            read that has spun this long reports a *stall* to the
+            supervisor (naming the array, element and owning worker) and
+            keeps spinning.  The supervisor uses the reports to detect
+            deadlocks causally — when every live worker is provably
+            blocked, the run aborts immediately instead of waiting out
+            ``read_timeout_s``.
+        recovery: Enable the self-healing layer
+            (:mod:`repro.parallel.recovery`): crashed or lost workers
+            are re-executed (idempotently, thanks to presence bits)
+            instead of aborting the run.  ``False`` restores the fail-
+            fast behaviour of the bare supervisor.
+        max_retries_per_worker: Respawns allowed per worker subrange
+            before the subrange is reassigned (degraded-mode takeover).
+        max_retries_total: Global respawn + takeover budget for a run;
+            exhausting it aborts with ``ParallelExecutionError``.
+        retry_backoff_s: Base of the exponential respawn backoff.
+        retry_backoff_max_s: Backoff ceiling.
+        retry_jitter: Jitter fraction applied to each backoff,
+            deterministic in ``seed`` (see
+            :class:`repro.parallel.recovery.RetryPolicy`).
+        seed: Run seed; the only randomness it feeds is the backoff
+            jitter, so recovery schedules are reproducible.
         fault_spec: Fault-injection plan (see
             :mod:`repro.parallel.faults`); ``None`` falls back to the
             ``PODS_FAULTS`` environment variable, which is empty in
@@ -96,6 +121,14 @@ class ParallelConfig:
     poll_interval_s: float = 0.05
     grace_s: float = 0.5
     read_timeout_s: float = 30.0
+    spin_ceiling_s: float = 1.0
+    recovery: bool = True
+    max_retries_per_worker: int = 2
+    max_retries_total: int = 8
+    retry_backoff_s: float = 0.05
+    retry_backoff_max_s: float = 2.0
+    retry_jitter: float = 0.25
+    seed: int = 0
     fault_spec: str | None = None
 
     def __post_init__(self) -> None:
@@ -104,9 +137,16 @@ class ParallelConfig:
         if self.page_size < 1:
             raise ValueError(f"page_size must be >= 1, got {self.page_size}")
         for name in ("timeout_s", "poll_interval_s", "grace_s",
-                     "read_timeout_s"):
+                     "read_timeout_s", "spin_ceiling_s", "retry_backoff_s",
+                     "retry_backoff_max_s"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0")
+        if self.max_retries_per_worker < 0:
+            raise ValueError("max_retries_per_worker must be >= 0")
+        if self.max_retries_total < 0:
+            raise ValueError("max_retries_total must be >= 0")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be >= 0")
 
     def with_workers(self, workers: int) -> "ParallelConfig":
         """Return a copy of this config with a different worker count."""

@@ -120,6 +120,52 @@ class ExecutionError(RuntimeFault):
     """An instruction failed while executing (bad opcode, type error, ...)."""
 
 
+class DeferredReadTimeout(ExecutionError):
+    """A deferred read spun past its bound (missing write -> deadlock).
+
+    Raised by :meth:`repro.parallel.shm_arrays.ShmArray.read` when an
+    absent element never turns present within the read timeout.  Carries
+    enough structure for the supervisor (and a human) to see *what* was
+    being waited on: the array, the 1-based element index, the flat
+    offset, and the worker whose shared-memory segment holds the element
+    (the likely — though under inner-dimension Range Filters not
+    guaranteed — writer).
+    """
+
+    def __init__(self, array: str, indices: tuple[int, ...], offset: int,
+                 owner: int, waited_s: float) -> None:
+        self.array = array
+        self.indices = indices
+        self.offset = offset
+        self.owner = owner
+        self.waited_s = waited_s
+        super().__init__(
+            f"deferred read of {array}{list(indices)} (offset {offset}, "
+            f"segment owner: worker {owner}) timed out after "
+            f"{waited_s:.3f}s (missing write -> deadlock)")
+
+
+class WorkerSuperseded(ExecutionError):
+    """A stale worker generation noticed it has been replaced.
+
+    A worker that hangs long enough for the supervisor to respawn it may
+    eventually wake up and keep writing.  The ownership-epoch counters on
+    each shared segment let it detect the replacement on its next shared
+    access and exit instead of racing its own successor (whose replay
+    would have made the duplicate writes benign anyway — single
+    assignment means the values are identical — but a prompt exit keeps
+    the zombie from burning a core).
+    """
+
+    def __init__(self, worker: int, generation: int, current: int) -> None:
+        self.worker = worker
+        self.generation = generation
+        self.current = current
+        super().__init__(
+            f"worker {worker} generation {generation} superseded by "
+            f"generation {current}; exiting")
+
+
 class WorkerFailure:
     """Structured record of one failed real-parallel worker.
 
@@ -133,25 +179,37 @@ class WorkerFailure:
     * ``"lost"`` — the process exited cleanly but never delivered its
       completion message (e.g. it was dropped pre-result);
     * ``"hang"`` — the worker was still alive at the run deadline and
-      had to be terminated.
+      had to be terminated;
+    * ``"stall"`` — the worker was blocked in a deferred-read spin on an
+      element that provably can never arrive (every other worker was
+      simultaneously blocked or done — the wall-clock analogue of the
+      simulator's :class:`DeadlockError`).
+
+    ``generation`` counts executions of the worker's subrange: 1 is the
+    original launch, higher values are recovery respawns/takeovers.
     """
 
-    __slots__ = ("worker", "exitcode", "kind", "detail")
+    __slots__ = ("worker", "exitcode", "kind", "detail", "generation")
 
     def __init__(self, worker: int, exitcode: int | None = None,
-                 kind: str = "crash", detail: str = "") -> None:
+                 kind: str = "crash", detail: str = "",
+                 generation: int = 1) -> None:
         self.worker = worker
         self.exitcode = exitcode
         self.kind = kind
         self.detail = detail
+        self.generation = generation
 
     def __repr__(self) -> str:
         return (f"WorkerFailure(worker={self.worker}, kind={self.kind!r}, "
-                f"exitcode={self.exitcode})")
+                f"exitcode={self.exitcode}, generation={self.generation})")
 
     def describe(self) -> str:
         code = "?" if self.exitcode is None else self.exitcode
-        line = f"worker {self.worker}: {self.kind} (exitcode {code})"
+        line = f"worker {self.worker}: {self.kind} (exitcode {code}"
+        if self.generation > 1:
+            line += f", generation {self.generation}"
+        line += ")"
         if self.detail:
             line += f"\n{self.detail.rstrip()}"
         return line
@@ -162,12 +220,19 @@ class ParallelExecutionError(ExecutionError):
 
     Subclasses :class:`ExecutionError` so existing ``except
     ExecutionError`` call sites keep working; ``failures`` holds one
-    :class:`WorkerFailure` per dead/hung/erroring worker.
+    :class:`WorkerFailure` per dead/hung/erroring worker.  When the run
+    used the recovery layer, ``recovery`` carries its
+    :class:`repro.parallel.recovery.RecoveryLog` so callers can see what
+    was attempted before the run was abandoned.
     """
 
     def __init__(self, message: str,
-                 failures: list[WorkerFailure] | None = None) -> None:
+                 failures: list[WorkerFailure] | None = None,
+                 recovery=None) -> None:
         self.failures = list(failures or [])
+        self.recovery = recovery
         if self.failures:
             message += "\n" + "\n".join(f.describe() for f in self.failures)
+        if recovery is not None and getattr(recovery, "events", None):
+            message += f"\nrecovery: {recovery.summary()}"
         super().__init__(message)

@@ -124,6 +124,58 @@ def perfetto_json(timelines=None, events: Iterable = (), num_pes: int = 1,
         sort_keys=True, separators=(",", ":"))
 
 
+# -- real-parallel backend traces ---------------------------------------
+
+RECOVERY_TRACK = 1  # tid of the per-worker recovery track
+
+
+def parallel_trace(result) -> dict:
+    """trace_event JSON for a :class:`repro.parallel.ParallelResult`.
+
+    One process per worker slot; each gets an "exec" track holding the
+    final (successful) generation's wall-time span, and — when the run
+    healed anything — a "RECOVERY" track with backoff waits as complete
+    spans and failures/respawns/takeovers/stalls as instants, so a
+    crash -> backoff -> replay sequence reads left-to-right in Perfetto
+    exactly as the supervisor saw it.
+    """
+    out: list[dict] = []
+    recovery = getattr(result, "recovery", None)
+    rec_events = list(recovery.events) if recovery is not None else []
+    rec_pids = {e.worker for e in rec_events}
+    for t in result.worker_stats:
+        pid = t.worker
+        out.append({"ph": "M", "name": "process_name", "pid": pid,
+                    "tid": 0, "args": {"name": f"worker{pid}"}})
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": 0, "args": {"name": f"worker{pid} exec"}})
+        if pid in rec_pids:
+            out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": RECOVERY_TRACK,
+                        "args": {"name": f"worker{pid} RECOVERY"}})
+        out.append({"ph": "X", "name": "exec", "cat": "exec", "pid": pid,
+                    "tid": 0, "ts": 0.0, "dur": t.wall_time_s * 1e6,
+                    "args": {"shared_writes": t.shared_writes,
+                             "deferred_reads": t.deferred_reads,
+                             "replayed_present": t.replayed_present}})
+    for e in rec_events:
+        base = {"pid": e.worker, "tid": RECOVERY_TRACK, "ts": e.t_s * 1e6,
+                "cat": "recovery",
+                "args": {"generation": e.generation, "detail": e.detail}}
+        if e.dur_s > 0:
+            out.append({**base, "ph": "X", "name": f"{e.kind} backoff",
+                        "dur": e.dur_s * 1e6})
+        else:
+            out.append({**base, "ph": "i", "s": "p", "name": e.kind})
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def parallel_trace_json(result) -> str:
+    """Deterministic (byte-stable) JSON encoding of the parallel trace."""
+    return json.dumps(parallel_trace(result), sort_keys=True,
+                      separators=(",", ":"))
+
+
 # -- validation (used by tests and the CI smoke job) --------------------
 
 _PH_NEEDS_ID = frozenset("besf")

@@ -136,3 +136,30 @@ class Profile:
         if self.finish_us <= 0:
             return "0.0%"
         return f"{us / self.finish_us * 100:.1f}%"
+
+
+def parallel_profile(result) -> str:
+    """The ``pods profile --backend parallel`` report.
+
+    The wall-clock counterpart of :class:`Profile`: the per-worker
+    telemetry table (reads/writes/deferred spins), the spin-wait share
+    of each worker's wall time (istructure-defer in simulator terms),
+    and the recovery timeline — respawns, takeovers, stalls — from the
+    run's :class:`repro.parallel.recovery.RecoveryLog`.
+    """
+    lines = [f"parallel run: {result.wall_time_s:.3f} s wall on "
+             f"{result.workers} worker(s)", ""]
+    lines.append(result.telemetry_table())
+    lines.append("")
+    spins = [(t.worker, t.spin_wait_s, t.wall_time_s)
+             for t in result.worker_stats if t.wall_time_s > 0]
+    if spins:
+        worst = max(spins, key=lambda r: r[1])
+        if worst[1] > 0:
+            lines.append(
+                f"dominant wait: istructure-defer on worker {worst[0]} "
+                f"({worst[1]:.3f} s, {worst[1] / worst[2] * 100:.1f}% of "
+                "its wall time)")
+            lines.append("")
+    lines.append(result.recovery_table())
+    return "\n".join(lines)

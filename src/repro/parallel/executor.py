@@ -17,12 +17,30 @@ Distributed Execution:
 
 Process lifecycle is supervised: the parent watches worker sentinels
 concurrently with the result queue, so a crashed, lost, or hung worker
-surfaces as a structured :class:`WorkerFailure` inside a
-:class:`ParallelExecutionError` within one poll interval — never as a
-silently truncated result or a full-timeout stall.  Shared segments are
-tracked in an append-only manifest (:mod:`repro.parallel.manifest`) and
-reclaimed on every exit path; the failure paths themselves are testable
-through deterministic fault injection (:mod:`repro.parallel.faults`).
+surfaces as a structured :class:`WorkerFailure` within one poll interval
+— never as a silently truncated result or a full-timeout stall.  Shared
+segments are tracked in an append-only manifest
+(:mod:`repro.parallel.manifest`) and reclaimed on every exit path —
+including ``KeyboardInterrupt``/SIGTERM; the failure paths themselves
+are testable through deterministic fault injection
+(:mod:`repro.parallel.faults`).
+
+On top of the supervisor sits the *self-healing* layer
+(:mod:`repro.parallel.recovery`).  Single assignment makes a dead
+worker's subrange idempotently re-executable — presence bits turn the
+replay's already-done prefix into no-ops — so a retriable failure
+(``crash``/``lost``) respawns the worker against the same segments
+after deterministic backoff; per-worker retry exhaustion reassigns the
+orphaned *identity* to a degraded-mode takeover process (an identity,
+not a process, owns a Range-Filter subrange — the replacement re-derives
+the exact subrange from the identity via the same first-element-
+ownership math).  Ownership epochs on each segment make a half-dead
+predecessor's late writes detectable (:class:`WorkerSuperseded`) and
+benign.  A deferred-read stall watchdog bounds every spin
+(``ParallelConfig.spin_ceiling_s``): spinning workers report *who* they
+are blocked on, and when every live worker is provably blocked at one
+instant the run aborts as a deadlock immediately — causal, not
+timeout-driven.
 
 The backend exists to demonstrate genuine wall-clock speedup of the
 partitioning scheme on real cores; the instruction-level simulator
@@ -31,17 +49,19 @@ remains the quantitative instrument, as in the paper.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import os
 import queue
+import signal
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import connection
 from typing import Any
 
 from repro.common.config import ParallelConfig
 from repro.common.errors import (ExecutionError, ParallelExecutionError,
-                                 WorkerFailure)
+                                 WorkerFailure, WorkerSuperseded)
 from repro.graph import build_graph, ir
 from repro.lang import ast_nodes as A
 from repro.partitioner import partition
@@ -49,7 +69,30 @@ from repro.runtime.arrays import ArrayHeader
 from repro.baseline.sequential import Clock, Interpreter, SeqArray
 from repro.parallel.faults import FaultInjector, FaultPlan, resolve_plan
 from repro.parallel.manifest import ShmManifest
+from repro.parallel.recovery import RecoveryEvent, RecoveryLog, RetryPolicy
 from repro.parallel.shm_arrays import ShmArray
+
+log = logging.getLogger("repro.parallel")
+
+_RETRIABLE = ("crash", "lost")
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """What one worker process is asked to execute.
+
+    ``identities`` are the PE numbers whose Range-Filter subranges this
+    process runs — ``(slot,)`` normally; several after a degraded-mode
+    takeover adopts orphans.  ``generation`` counts executions (1 =
+    original launch); a replay sets ``replay`` so already-present
+    elements are verified instead of re-written.
+    """
+
+    slot: int
+    identities: tuple[int, ...]
+    generation: int = 1
+    kind: str = "worker"  # worker | respawn | takeover
+    replay: bool = False
 
 
 @dataclass
@@ -63,6 +106,8 @@ class WorkerTelemetry:
     deferred_reads: int = 0
     spin_wait_s: float = 0.0
     max_spin_wait_s: float = 0.0
+    replayed_present: int = 0
+    stall_reports: int = 0
     # (loop block, first, last, iteration items, times executed) — an
     # inner-loop RF runs once per enclosing iteration, hence the count.
     rf_subranges: list[tuple[str, int, int, int, int]] = field(
@@ -81,6 +126,8 @@ class WorkerTelemetry:
             deferred_reads=d.get("deferred_reads", 0),
             spin_wait_s=d.get("spin_wait_s", 0.0),
             max_spin_wait_s=d.get("max_spin_wait_s", 0.0),
+            replayed_present=d.get("replayed_present", 0),
+            stall_reports=d.get("stall_reports", 0),
             rf_subranges=[tuple(r) for r in d.get("rf_subranges", [])],
             pages_touched={k: list(v)
                            for k, v in d.get("pages_touched", {}).items()},
@@ -136,6 +183,7 @@ class ParallelResult:
     workers: int
     worker_stats: list[WorkerTelemetry] = field(default_factory=list)
     registry: Any = None  # MetricsRegistry over the worker telemetry
+    recovery: RecoveryLog | None = None
 
     def telemetry_table(self) -> str:
         """Per-worker profile as an aligned text block."""
@@ -153,24 +201,49 @@ class ParallelResult:
                          f"{ranges or '-'}")
         return "\n".join(lines)
 
+    def recovery_table(self) -> str:
+        """Recovery timeline for ``pods profile`` (see RecoveryLog)."""
+        if self.recovery is None:
+            return "recovery\n--------\n(recovery disabled)"
+        return self.recovery.table()
+
 
 class _WorkerInterpreter(Interpreter):
-    """SPMD worker: same program, own Range-Filter subranges."""
+    """SPMD worker: same program, own Range-Filter subranges.
+
+    A normal worker executes one identity; a takeover executes several.
+    Identities run lowest-first for ascending distributed loops and
+    highest-first for descending ones, matching the global iteration
+    order so sweep-style adjacent-range dependencies between two adopted
+    identities resolve against this process's own earlier writes instead
+    of self-deadlocking.  (Pathological cross-range dependencies can
+    still deadlock a degraded run — the stall watchdog then aborts it
+    with a structured diagnosis rather than hanging.)
+    """
 
     def __init__(self, program: A.Program, graph: ir.ProgramGraph,
-                 worker: int, num_workers: int, run_tag: str,
+                 spec: _WorkerSpec, num_workers: int, run_tag: str,
                  page_size: int, entry: str,
                  manifest: ShmManifest | None = None,
                  injector: FaultInjector | None = None,
-                 read_timeout_s: float = 30.0) -> None:
+                 read_timeout_s: float = 30.0,
+                 spin_ceiling_s: float | None = None,
+                 stall_fn=None) -> None:
         super().__init__(program, clock=Clock(), entry=entry)
-        self.worker = worker
+        self.spec = spec
+        self.worker = spec.slot
+        self.identities = spec.identities
         self.num_workers = num_workers
         self.run_tag = run_tag
         self.page_size = page_size
         self.manifest = manifest
-        self.injector = injector or FaultInjector(FaultPlan(), worker)
+        self.injector = injector or FaultInjector(FaultPlan(), spec.slot)
         self.read_timeout_s = read_timeout_s
+        self.spin_ceiling_s = spin_ceiling_s
+        self.stall_fn = stall_fn
+        # Pre-bound so the read hot path doesn't allocate a closure per
+        # deferred read.
+        self._on_spin = lambda: self.injector.fire("spin")
         self.block_of = {id(b.ast_ref): b for b in graph.loop_blocks()
                          if b.ast_ref is not None}
         self.alloc_seq = 0
@@ -185,16 +258,25 @@ class _WorkerInterpreter(Interpreter):
             # Worker-private temporary.
             return SeqArray(dims)
         # Replicated allocation: every worker computes the same sequence
-        # number, so they agree on the segment name; worker 0 creates it.
+        # number, so they agree on the segment name; the process running
+        # identity 0 creates it.  A replay's create falls back to attach
+        # (exist_ok) — its predecessor may already have created it.
         self.alloc_seq += 1
         name = f"{self.run_tag}_{self.alloc_seq}"
-        create = self.worker == 0
+        create = 0 in self.identities
         if create and self.manifest is not None:
             # Record before creating: a death in the gap costs a no-op
             # unlink, while the reverse order would leak the segment.
             self.manifest.record(name)
         arr = ShmArray(name, tuple(dims), create=create,
-                       page_size=self.page_size)
+                       page_size=self.page_size,
+                       epoch_slots=self.num_workers,
+                       slot=self.worker, generation=self.spec.generation,
+                       replay=self.spec.replay, exist_ok=self.spec.replay)
+        # Claim every adopted identity's epoch slot, so a stale
+        # predecessor of any of them self-detects as superseded.
+        for ident in self.identities:
+            arr.set_epoch(ident, self.spec.generation)
         self.shared_arrays.append(arr)
         return arr
 
@@ -202,7 +284,9 @@ class _WorkerInterpreter(Interpreter):
 
     def on_array_read(self, arr, indices: tuple) -> Any:
         if isinstance(arr, ShmArray):
-            return arr.read(indices, timeout_s=self.read_timeout_s)
+            return arr.read(indices, timeout_s=self.read_timeout_s,
+                            spin_ceiling_s=self.spin_ceiling_s,
+                            on_stall=self.stall_fn, on_spin=self._on_spin)
         return arr.read(indices)
 
     def on_array_write(self, arr, indices: tuple, value: Any) -> None:
@@ -240,15 +324,18 @@ class _WorkerInterpreter(Interpreter):
             self.run_for_range(stmt, env, depth, init, limit, step)
             return
         header = ArrayHeader(1, arr.dims, self.page_size, self.num_workers)
-        first, last = header.filtered_range(
-            self.worker, init, limit, descending=stmt.descending,
-            fixed=fixed, dim=rf.dim)
-        items = max(0, (last - first) * step + 1)
-        key = (block.name, first, last, items)
-        self.rf_counts[key] = self.rf_counts.get(key, 0) + 1
+        idents = (tuple(reversed(self.identities)) if stmt.descending
+                  else self.identities)
         self.in_distributed += 1
         try:
-            self.run_for_range(stmt, env, depth, first, last, step)
+            for ident in idents:
+                first, last = header.filtered_range(
+                    ident, init, limit, descending=stmt.descending,
+                    fixed=fixed, dim=rf.dim)
+                items = max(0, (last - first) * step + 1)
+                key = (block.name, first, last, items)
+                self.rf_counts[key] = self.rf_counts.get(key, 0) + 1
+                self.run_for_range(stmt, env, depth, first, last, step)
         finally:
             self.in_distributed -= 1
 
@@ -265,7 +352,8 @@ class _WorkerInterpreter(Interpreter):
     def telemetry(self, wall_time_s: float) -> dict:
         out = {"wall_time_s": wall_time_s, "shared_reads": 0,
                "shared_writes": 0, "deferred_reads": 0, "spin_wait_s": 0.0,
-               "max_spin_wait_s": 0.0, "pages_touched": {},
+               "max_spin_wait_s": 0.0, "replayed_present": 0,
+               "stall_reports": 0, "pages_touched": {},
                "rf_subranges": [(name, first, last, items, count)
                                 for (name, first, last, items), count
                                 in self.rf_counts.items()]}
@@ -277,6 +365,8 @@ class _WorkerInterpreter(Interpreter):
             out["spin_wait_s"] += s["spin_wait_s"]
             out["max_spin_wait_s"] = max(out["max_spin_wait_s"],
                                          s["max_spin_wait_s"])
+            out["replayed_present"] += s["replayed_present"]
+            out["stall_reports"] += s["stall_reports"]
             if s["pages_touched"]:
                 out["pages_touched"][arr.name] = s["pages_touched"]
         return out
@@ -286,38 +376,71 @@ class _WorkerInterpreter(Interpreter):
             arr.close()
 
 
-def _worker_main(program, graph, worker, num_workers, run_tag, page_size,
-                 entry, args, out_queue, manifest_path, read_timeout_s,
-                 plan) -> None:
-    injector = FaultInjector(plan, worker)
+def _worker_main(program, graph, spec: _WorkerSpec, num_workers, run_tag,
+                 page_size, entry, args, out_queue, manifest_path,
+                 read_timeout_s, spin_ceiling_s, plan) -> None:
+    # Fork inherits the parent's SIGTERM→KeyboardInterrupt handler; a
+    # terminated worker should just die, not unwind through it.
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+    injector = FaultInjector(plan, spec.slot, generation=spec.generation)
     manifest = ShmManifest(manifest_path, run_tag)
-    interp = _WorkerInterpreter(program, graph, worker, num_workers,
+
+    def stall_fn(info: dict) -> None:
+        # Timestamp worker-side with the system-wide monotonic clock so
+        # the supervisor can reason about *when* the spin provably
+        # covered an instant (queue latency must not widen the
+        # interval — the deadlock quorum's soundness depends on it).
+        now = time.monotonic()
+        info = dict(info)
+        info["t_spin_start"] = now - info["waited_s"]
+        info["t_report"] = now
+        out_queue.put(("stall", spec.slot, spec.generation, info))
+
+    interp = _WorkerInterpreter(program, graph, spec, num_workers,
                                 run_tag, page_size, entry,
                                 manifest=manifest, injector=injector,
-                                read_timeout_s=read_timeout_s)
+                                read_timeout_s=read_timeout_s,
+                                spin_ceiling_s=spin_ceiling_s,
+                                stall_fn=stall_fn)
     t0 = time.perf_counter()
     try:
         result = interp.run(tuple(args), materialize=False)
         injector.fire("result")
-        if worker == 0:
+        if 0 in spec.identities:
             value = result.value
             if isinstance(value, ShmArray):
                 # Other workers may still be writing; the parent attaches
                 # and snapshots only after every worker reports done.
-                out_queue.put(("result", worker,
+                out_queue.put(("result", spec.slot, spec.generation,
                                ("array", (value.name, value.dims))))
             else:
-                out_queue.put(("result", worker, ("ok", value)))
-        out_queue.put(("done", worker,
+                out_queue.put(("result", spec.slot, spec.generation,
+                               ("ok", value)))
+        out_queue.put(("done", spec.slot, spec.generation,
                        interp.telemetry(time.perf_counter() - t0)))
+    except WorkerSuperseded as exc:
+        # A successor generation owns this subrange now; exit quietly.
+        out_queue.put(("superseded", spec.slot, spec.generation, str(exc)))
     except BaseException as exc:  # noqa: BLE001 - must cross the process
         import traceback
 
-        out_queue.put(("err", worker,
+        out_queue.put(("err", spec.slot, spec.generation,
                        f"{type(exc).__name__}: {exc}\n"
                        f"{traceback.format_exc()}"))
     finally:
         interp.cleanup()
+
+
+@dataclass
+class _Rec:
+    """Supervisor-side record of one live worker process."""
+
+    spec: _WorkerSpec
+    proc: Any
+    grace_until: float | None = None
 
 
 def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
@@ -325,17 +448,25 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
                  timeout_s: float = 120.0,
                  config: ParallelConfig | None = None,
                  faults=None) -> ParallelResult:
-    """Execute ``program_ast`` on real, supervised processes.
+    """Execute ``program_ast`` on real, supervised, self-healing processes.
 
-    Raises :class:`ParallelExecutionError` (an :class:`ExecutionError`)
-    with one :class:`WorkerFailure` per dead/lost/hung worker; a partial
-    result is never returned.  ``faults`` takes a spec string or
+    Retriable worker failures (``crash``/``lost``) are healed by the
+    recovery layer when ``config.recovery`` is on (the default):
+    respawns with deterministic backoff, then degraded-mode takeover on
+    per-worker retry exhaustion (see :mod:`repro.parallel.recovery`).
+    Unrecoverable runs raise :class:`ParallelExecutionError` (an
+    :class:`ExecutionError`) carrying one :class:`WorkerFailure` per
+    failed worker plus the :class:`RecoveryLog`; a partial result is
+    never returned.  ``faults`` takes a spec string or
     :class:`FaultPlan` (``None`` defers to ``config.fault_spec``, then
-    the ``PODS_FAULTS`` environment variable).
+    the ``PODS_FAULTS`` environment variable).  ``KeyboardInterrupt``
+    and SIGTERM terminate the workers, reclaim every shared segment via
+    the manifest, and re-raise.
     """
     cfg = config or ParallelConfig(workers=workers, page_size=page_size,
                                    timeout_s=timeout_s)
     plan = resolve_plan(faults if faults is not None else cfg.fault_spec)
+    policy = RetryPolicy.from_config(cfg)
     nw = cfg.workers
 
     graph = build_graph(program_ast, entry=entry)
@@ -346,124 +477,326 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
     ctx = mp.get_context("fork")
     out_queue = ctx.Queue()
 
-    start = time.perf_counter()
-    procs = [
-        ctx.Process(
-            target=_worker_main,
-            args=(program_ast, graph, w, nw, run_tag, cfg.page_size,
-                  entry, args, out_queue, manifest.path, cfg.read_timeout_s,
-                  plan),
-        )
-        for w in range(nw)
-    ]
-    for p in procs:
-        p.start()
+    rlog = RecoveryLog()
+    t0_mono = time.monotonic()
 
-    deadline = time.monotonic() + cfg.timeout_s
-    pending = set(range(nw))
-    telemetry: dict[int, dict] = {}
+    def t() -> float:
+        return time.monotonic() - t0_mono
+
+    active: dict[int, _Rec] = {}
+    all_procs: list = []
+    pending_spawns: list[tuple[float, _WorkerSpec]] = []
+    completed: dict[int, dict] = {}
+    remaining: set[int] = set(range(nw))
+    retries_used: dict[int, int] = {}
+    total_retries = 0
+    # slot -> (t_spin_start, t_report, generation, info) latest stall
+    stalls: dict[int, tuple] = {}
     failures: list[WorkerFailure] = []
-    grace: dict[int, float] = {}
     result_msg: tuple | None = None
+    fatal_message: str | None = None
+
+    def spawn(spec: _WorkerSpec) -> None:
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(program_ast, graph, spec, nw, run_tag, cfg.page_size,
+                  entry, args, out_queue, manifest.path, cfg.read_timeout_s,
+                  cfg.spin_ceiling_s, plan))
+        proc.start()
+        all_procs.append(proc)
+        active[spec.slot] = _Rec(spec=spec, proc=proc)
+        stalls.pop(spec.slot, None)
+
+    def fail(rec: _Rec, wf: WorkerFailure) -> None:
+        nonlocal total_retries, fatal_message
+        rlog.record(RecoveryEvent(
+            t(), "failure", wf.worker, wf.generation,
+            detail=f"{wf.kind} (exitcode "
+                   f"{'?' if wf.exitcode is None else wf.exitcode})"))
+        if not policy.enabled or wf.kind not in _RETRIABLE:
+            failures.append(wf)
+            return
+        spec = rec.spec
+        total_retries += 1
+        if total_retries > policy.max_retries_total:
+            fatal_message = (f"recovery budget exhausted "
+                             f"({policy.max_retries_total} retries)")
+            failures.append(wf)
+            return
+        slot = spec.slot
+        attempt = retries_used.get(slot, 0) + 1
+        retries_used[slot] = attempt
+        if attempt <= policy.max_retries_per_worker:
+            delay = policy.backoff_s(slot, attempt)
+            newspec = replace(spec, generation=spec.generation + 1,
+                              kind="respawn", replay=True)
+            pending_spawns.append((time.monotonic() + delay, newspec))
+            rlog.record(RecoveryEvent(
+                t(), "respawn", slot, newspec.generation,
+                detail=(f"attempt {attempt}/{policy.max_retries_per_worker}"
+                        f" after {wf.kind}; backoff {delay * 1e3:.0f} ms"),
+                dur_s=delay))
+            log.info("pods.parallel: respawning worker %d (generation %d) "
+                     "after %s", slot, newspec.generation, wf.kind)
+            return
+        # Per-worker budget exhausted: reassign the orphaned identities.
+        rlog.record(RecoveryEvent(
+            t(), "exhausted", slot, spec.generation,
+            detail=f"{policy.max_retries_per_worker} retries used"))
+        ids = set(spec.identities)
+        gens = [spec.generation]
+        keep = []
+        for due, s in pending_spawns:
+            if s.kind == "takeover":
+                # Merge not-yet-started takeovers into one.
+                ids.update(s.identities)
+                gens.append(s.generation)
+            else:
+                keep.append((due, s))
+        pending_spawns[:] = keep
+        survivors = sorted(set(active) | set(completed))
+        if not survivors and not keep:
+            fatal_message = ("all workers exhausted their retry budget; "
+                            "no survivor to take over")
+            failures.append(wf)
+            return
+        delay = policy.backoff_s(slot, attempt)
+        newspec = _WorkerSpec(slot=min(ids), identities=tuple(sorted(ids)),
+                              generation=max(gens) + 1, kind="takeover",
+                              replay=True)
+        pending_spawns.append((time.monotonic() + delay, newspec))
+        rlog.record(RecoveryEvent(
+            t(), "takeover", newspec.slot, newspec.generation,
+            detail=(f"identities {newspec.identities} reassigned after "
+                    f"worker {slot} exhausted retries; survivors "
+                    f"{survivors}"),
+            dur_s=delay))
+        log.warning(
+            "pods.parallel: DEGRADED MODE — worker %d exhausted its retry "
+            "budget; subrange identities %s reassigned to a recovery "
+            "worker (generation %d)", slot, newspec.identities,
+            newspec.generation)
 
     def handle(msg: tuple) -> None:
         nonlocal result_msg
-        tag, worker, payload = msg
+        tag, slot, gen, payload = msg
+        if tag == "superseded":
+            rlog.record(RecoveryEvent(t(), "superseded", slot, gen,
+                                      detail=str(payload)))
+            return
+        rec = active.get(slot)
+        if rec is None or rec.spec.generation != gen:
+            return  # stale generation: a zombie predecessor's late message
         if tag == "result":
             result_msg = payload
         elif tag == "done":
-            telemetry[worker] = payload
-            pending.discard(worker)
-            grace.pop(worker, None)
+            completed[slot] = payload
+            remaining.difference_update(rec.spec.identities)
+            del active[slot]
+            # A completing worker may have satisfied a blocked read
+            # *after* a stale stall interval was recorded, so every
+            # recorded interval is now invalid as deadlock evidence.
+            # Truly blocked workers re-report at the next ceiling
+            # crossing, so a real deadlock is still caught one spin
+            # ceiling later.
+            stalls.clear()
         elif tag == "err":
-            failures.append(WorkerFailure(worker, exitcode=None,
-                                          kind="error", detail=payload))
-            pending.discard(worker)
+            del active[slot]
+            fail(rec, WorkerFailure(slot, exitcode=None, kind="error",
+                                    detail=payload, generation=gen))
+        elif tag == "stall":
+            stalls[slot] = (payload["t_spin_start"], payload["t_report"],
+                            gen, payload)
+            rlog.record(RecoveryEvent(
+                t(), "stall", slot, gen,
+                detail=(f"{payload['array']}{payload['indices']} "
+                        f"(segment owner: worker {payload['owner']}) "
+                        f"waited {payload['waited_s']:.3f}s")))
+
+    def check_deadlock() -> None:
+        """Abort when every live worker is provably blocked at once.
+
+        Each stall report carries the interval [spin start, report time]
+        during which its worker was certainly inside a deferred-read
+        spin (worker-side monotonic timestamps).  If every live worker's
+        latest interval shares a common instant, then at that instant no
+        process that could ever produce a write was running — only
+        workers write, and intervals recorded before the most recent
+        completion are discarded in ``handle`` (the completing worker
+        may have written the awaited element after the report) — so the
+        blocked reads can never be satisfied: deadlock, reported
+        causally instead of after ``read_timeout_s``.
+        """
+        nonlocal fatal_message
+        if failures or pending_spawns or not active:
+            return
+        intervals = []
+        for slot, rec in active.items():
+            iv = stalls.get(slot)
+            if iv is None or iv[2] != rec.spec.generation:
+                return  # this worker is not provably blocked
+            intervals.append((slot, iv))
+        lo = max(iv[0] for _, iv in intervals)
+        hi = min(iv[1] for _, iv in intervals)
+        if lo > hi:
+            return
+        for slot, iv in sorted(intervals):
+            info = iv[3]
+            failures.append(WorkerFailure(
+                slot, exitcode=None, kind="stall",
+                detail=(f"blocked on {info['array']}{info['indices']} "
+                        f"(segment owner: worker {info['owner']}) for "
+                        f"{info['waited_s']:.3f}s"),
+                generation=active[slot].spec.generation))
+        fatal_message = ("every live worker blocked in a deferred-read "
+                         "spin (missing write -> deadlock)")
+
+    def _sigterm(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt("SIGTERM")
 
     try:
-        while pending and not failures:
+        prev_handler = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread
+        prev_handler = None
+
+    start = time.perf_counter()
+    deadline = time.monotonic() + cfg.timeout_s
+    try:
+        for w in range(nw):
+            spawn(_WorkerSpec(slot=w, identities=(w,)))
+        while remaining and not failures:
             # Drain every message already delivered.
             while True:
                 try:
                     handle(out_queue.get_nowait())
                 except queue.Empty:
                     break
-            if not pending or failures:
+            if not remaining or failures:
                 break
             now = time.monotonic()
+            due = [s for d, s in pending_spawns if d <= now]
+            if due:
+                pending_spawns[:] = [(d, s) for d, s in pending_spawns
+                                     if d > now]
+                for s in due:
+                    spawn(s)
             if now >= deadline:
-                for w in sorted(pending):
+                for slot in sorted(active):
+                    rec = active.pop(slot)
                     failures.append(WorkerFailure(
-                        w, exitcode=None, kind="hang",
+                        slot, exitcode=None, kind="hang",
                         detail=f"still running at the {cfg.timeout_s:g}s "
-                               "deadline; terminated"))
+                               "deadline; terminated",
+                        generation=rec.spec.generation))
+                for _, s in pending_spawns:
+                    failures.append(WorkerFailure(
+                        s.slot, exitcode=None, kind="hang",
+                        detail="recovery respawn still pending at the run "
+                               "deadline",
+                        generation=s.generation))
+                pending_spawns.clear()
                 break
             # A worker that exited without reporting gets a short grace
             # for its final queue message to flush, then is declared
             # crashed (nonzero exit) or lost (clean exit, no message).
-            for w in sorted(pending):
-                p = procs[w]
-                if p.is_alive():
+            for slot in sorted(active):
+                rec = active[slot]
+                if rec.proc.is_alive():
                     continue
-                if w not in grace:
-                    grace[w] = now + cfg.grace_s
-                elif now >= grace[w]:
-                    code = p.exitcode
-                    failures.append(WorkerFailure(
-                        w, exitcode=code,
+                if rec.grace_until is None:
+                    rec.grace_until = now + cfg.grace_s
+                elif now >= rec.grace_until:
+                    code = rec.proc.exitcode
+                    del active[slot]
+                    fail(rec, WorkerFailure(
+                        slot, exitcode=code,
                         kind="lost" if code == 0 else "crash",
-                        detail="exited without reporting a result"))
-                    pending.discard(w)
-            if failures or not pending:
+                        detail="exited without reporting a result",
+                        generation=rec.spec.generation))
+            if failures or not remaining:
                 break
-            sentinels = [procs[w].sentinel for w in pending
-                         if procs[w].is_alive()]
+            check_deadlock()
+            if failures:
+                break
+            if not active and not pending_spawns:
+                fatal_message = ("no live worker or pending respawn covers "
+                                 f"identities {sorted(remaining)}")
+                failures.append(WorkerFailure(
+                    min(remaining), exitcode=None, kind="lost",
+                    detail="identity left uncovered (supervisor invariant "
+                           "violation)"))
+                break
+            sentinels = [rec.proc.sentinel for rec in active.values()
+                         if rec.proc.is_alive()]
             wait_s = min(cfg.poll_interval_s, max(deadline - now, 0.001))
+            if pending_spawns:
+                nxt = min(d for d, _ in pending_spawns) - now
+                wait_s = min(wait_s, max(nxt, 0.001))
             if sentinels:
                 connection.wait(sentinels, timeout=wait_s)
             else:
                 time.sleep(min(wait_s, 0.005))
+        wall = time.perf_counter() - start
+
+        if failures:
+            if fatal_message is not None:
+                message = f"parallel run failed: {fatal_message}"
+            else:
+                hung = [f.worker for f in failures if f.kind == "hang"]
+                if hung and len(hung) == len(failures):
+                    message = (f"parallel run timed out after "
+                               f"{cfg.timeout_s:g}s; unjoined workers: "
+                               f"{hung}")
+                else:
+                    message = (f"parallel run failed: {len(failures)} "
+                               "worker failure(s) were not recoverable")
+            raise ParallelExecutionError(message, failures, recovery=rlog)
+
+        if result_msg is None:
+            raise ParallelExecutionError(
+                "worker 0 completed without producing a result",
+                [WorkerFailure(0, exitcode=None, kind="lost",
+                               detail="no result message received")],
+                recovery=rlog)
+
+        status, payload = result_msg
+        if status == "array":
+            name, dims = payload
+            arr = ShmArray(name, tuple(dims), create=False,
+                           page_size=cfg.page_size, epoch_slots=nw)
+            try:
+                payload = arr.to_value()
+            finally:
+                arr.close()
+        stats = [WorkerTelemetry.from_dict(w, completed.get(w, {}))
+                 for w in range(nw)]
+        rlog.replayed_elements = sum(s.replayed_present for s in stats)
+        registry = telemetry_registry(stats)
+        rlog.to_registry(registry)
+        return ParallelResult(value=payload, wall_time_s=wall, workers=nw,
+                              worker_stats=stats, registry=registry,
+                              recovery=rlog)
     finally:
-        for p in procs:
+        # Uniform teardown for success, failure, and interrupt alike:
+        # stop every process ever started, drain the queue, reclaim all
+        # shared segments via the manifest (plus prefix sweep).
+        for p in all_procs:
             if p.is_alive():
                 p.terminate()
-        for p in procs:
+        for p in all_procs:
             p.join(timeout=5.0)
             if p.is_alive():  # pragma: no cover - terminate was refused
                 p.kill()
                 p.join()
+        while True:
+            try:
+                out_queue.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                break
         out_queue.close()
-    wall = time.perf_counter() - start
-
-    if failures:
         manifest.cleanup()
-        hung = [f.worker for f in failures if f.kind == "hang"]
-        if hung and len(hung) == len(failures):
-            message = (f"parallel run timed out after {cfg.timeout_s:g}s; "
-                       f"unjoined workers: {hung}")
-        else:
-            message = (f"parallel run failed: {len(failures)} of {nw} "
-                       "worker(s) did not complete")
-        raise ParallelExecutionError(message, failures)
-
-    if result_msg is None:
-        manifest.cleanup()
-        raise ParallelExecutionError(
-            "worker 0 completed without producing a result",
-            [WorkerFailure(0, exitcode=procs[0].exitcode, kind="lost",
-                           detail="no result message received")])
-
-    status, payload = result_msg
-    if status == "array":
-        name, dims = payload
-        arr = ShmArray(name, dims, create=False)
-        try:
-            payload = arr.to_value()
-        finally:
-            arr.close()
-    manifest.cleanup()
-    stats = [WorkerTelemetry.from_dict(w, telemetry.get(w, {}))
-             for w in range(nw)]
-    return ParallelResult(value=payload, wall_time_s=wall, workers=nw,
-                          worker_stats=stats,
-                          registry=telemetry_registry(stats))
+        if prev_handler is not None:
+            try:
+                signal.signal(signal.SIGTERM, prev_handler)
+            except ValueError:  # pragma: no cover
+                pass

@@ -18,13 +18,29 @@ Trigger events, counted per worker:
 
 * ``iter``   — one distributed-loop iteration is about to run;
 * ``write``  — one shared-array write is about to happen;
-* ``result`` — the worker is about to enqueue its result/telemetry.
+* ``result`` — the worker is about to enqueue its result/telemetry;
+* ``spin``   — a deferred read just found its element absent and is
+  about to start spinning.
+
+Each fault also carries a generation qualifier ``gen``: 1 (the default)
+fires only in a worker's first execution, ``gen=k`` only in its *k*-th
+(recovery respawns/takeovers count up from 2 — ``gen=2`` is the
+crash-on-respawn idiom), and ``gen=0`` fires in every generation (which
+with ``kill`` exhausts the retry budget).  Event counts restart from
+zero in each generation, since a replay re-executes the subrange from
+the top.
 
 Plans parse from a compact spec string (also accepted via the
 ``PODS_FAULTS`` environment variable)::
 
     kill:worker=1,on=iter,after=3
     hang:worker=0,seconds=60;drop:worker=2
+    kill:worker=1,on=write,after=2,gen=2
+
+Recovery-path idioms: ``kill:worker=K,on=write,after=N`` crashes
+mid-write (after N completed writes), ``kill:worker=K,gen=2`` crashes
+the respawn, ``hang:worker=K,on=spin`` hangs a worker inside a
+deferred-read spin.
 
 Faults are a test/bench instrument: parsing is strict and raises
 ``ValueError`` on anything malformed rather than guessing.
@@ -39,14 +55,18 @@ from dataclasses import dataclass, field
 DEFAULT_KILL_EXITCODE = 113
 
 _ACTIONS = ("kill", "hang", "drop", "delay")
-_EVENTS = ("iter", "write", "result")
+_EVENTS = ("iter", "write", "result", "spin")
 _DEFAULT_EVENT = {"kill": "iter", "hang": "iter", "drop": "result",
                   "delay": "write"}
 
 
 @dataclass(frozen=True)
 class Fault:
-    """One injected fault: ``action`` on ``worker`` at trigger ``on``."""
+    """One injected fault: ``action`` on ``worker`` at trigger ``on``.
+
+    ``gen`` restricts the fault to one execution generation of the
+    worker (1 = original launch, 2+ = recovery replays, 0 = all).
+    """
 
     action: str
     worker: int
@@ -54,6 +74,7 @@ class Fault:
     after: int = 0
     seconds: float = 60.0
     exitcode: int = DEFAULT_KILL_EXITCODE
+    gen: int = 1
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
@@ -66,6 +87,8 @@ class Fault:
             raise ValueError("fault worker must be >= 0")
         if self.after < 0:
             raise ValueError("fault after must be >= 0")
+        if self.gen < 0:
+            raise ValueError("fault gen must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -97,7 +120,7 @@ class FaultPlan:
                     if not eq:
                         raise ValueError(f"bad fault argument {pair!r} "
                                          f"in {part!r}")
-                    if key in ("worker", "after", "exitcode"):
+                    if key in ("worker", "after", "exitcode", "gen"):
                         kwargs[key] = int(value)
                     elif key == "seconds":
                         kwargs[key] = float(value)
@@ -139,8 +162,10 @@ class FaultInjector:
     check on an empty list.
     """
 
-    def __init__(self, plan: FaultPlan, worker: int) -> None:
-        self._mine = [f for f in plan.faults if f.worker == worker]
+    def __init__(self, plan: FaultPlan, worker: int,
+                 generation: int = 1) -> None:
+        self._mine = [f for f in plan.faults
+                      if f.worker == worker and f.gen in (0, generation)]
         self._counts = {event: 0 for event in _EVENTS}
 
     def fire(self, event: str) -> None:

@@ -61,6 +61,25 @@ class ShmManifest:
         except FileNotFoundError:
             return []
 
+    def live_segments(self) -> list[str]:
+        """Recorded or prefix-matching segments still present in shm.
+
+        Empty after a successful :meth:`cleanup` — the post-run leak
+        check the acceptance tests (and the chaos driver) assert on.
+        """
+        live = []
+        for name in self.names():
+            if os.path.exists(os.path.join(_SHM_DIR, name)):
+                live.append(name)
+        if os.path.isdir(_SHM_DIR):
+            try:
+                for entry in os.listdir(_SHM_DIR):
+                    if entry.startswith(self.run_tag) and entry not in live:
+                        live.append(entry)
+            except OSError:
+                pass
+        return live
+
     def cleanup(self) -> list[str]:
         """Unlink every recorded (or prefix-matching) segment.
 

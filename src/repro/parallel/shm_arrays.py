@@ -1,8 +1,11 @@
 """Shared-memory I-structures for the real-parallel backend.
 
-Each distributed array lives in one POSIX shared-memory segment holding a
-flag byte and an 8-byte value per element.  The flag encodes presence and
-type (I-structure presence bits):
+Each distributed array lives in one POSIX shared-memory segment holding
+an ownership-epoch table, a flag byte and an 8-byte value per element:
+
+    [epochs: 8 bytes x epoch_slots][flags: 1 byte/elem][values: 8 bytes/elem]
+
+The flag encodes presence and type (I-structure presence bits):
 
     0 = absent, 1 = float, 2 = int, 3 = bool
 
@@ -12,6 +15,21 @@ the flag is non-zero.  On x86-64 with CPython this is sound: aligned
 statements.  Single assignment is enforced by testing the flag before
 writing — a best-effort check (two simultaneous writers could both pass
 it), exactly the kind of race single-assignment *programs* never exhibit.
+
+The epoch table carries one monotonically increasing *ownership epoch*
+per worker slot, stamped by each generation of a worker when it attaches.
+It is what makes recovery safe against half-dead predecessors: a replay
+generation bumps its slot's epoch, and a stale generation that wakes up
+later notices the bump on its next access and raises
+:class:`~repro.common.errors.WorkerSuperseded` instead of racing its own
+successor.  (Even an undetected late write is benign — single assignment
+means the replay would have stored the identical value — the epoch just
+turns "benign by argument" into "detected".)
+
+Recovery replays set ``replay=True``: a write that finds the presence
+bit already set (its predecessor got that far before dying) verifies the
+stored value and moves on instead of raising a single-assignment
+violation — this is what makes re-execution idempotent.
 """
 
 from __future__ import annotations
@@ -19,8 +37,10 @@ from __future__ import annotations
 import struct
 import time
 from multiprocessing import shared_memory
+from typing import Callable
 
-from repro.common.errors import ExecutionError, SingleAssignmentViolation
+from repro.common.errors import (DeferredReadTimeout, ExecutionError,
+                                 SingleAssignmentViolation, WorkerSuperseded)
 
 FLAG_ABSENT = 0
 FLAG_FLOAT = 1
@@ -32,13 +52,31 @@ _PACK_INT = struct.Struct("<q")
 
 
 class ShmArray:
-    """One shared I-structure array (attached or created)."""
+    """One shared I-structure array (attached or created).
+
+    ``epoch_slots`` sizes the ownership-epoch table (one slot per
+    worker) and must agree between the creator and every attacher —
+    the executor passes the run's worker count everywhere.  ``slot`` /
+    ``generation`` identify this attachment for epoch stamping and
+    staleness checks (``generation=0`` disables both, for standalone
+    host-side use).  ``exist_ok`` turns creation into create-or-attach,
+    which is what a replayed worker 0 needs: its predecessor may or may
+    not have gotten around to creating the segment.
+    """
 
     def __init__(self, name: str, dims: tuple[int, ...], create: bool,
                  attach_timeout_s: float = 10.0,
-                 page_size: int = 32) -> None:
+                 page_size: int = 32, epoch_slots: int = 1,
+                 slot: int = 0, generation: int = 0,
+                 replay: bool = False, exist_ok: bool = False) -> None:
         self.dims = dims
         self.page_size = page_size
+        if epoch_slots < 1:
+            raise ExecutionError(f"epoch_slots must be >= 1, got {epoch_slots}")
+        self.epoch_slots = epoch_slots
+        self.slot = slot
+        self.generation = generation
+        self.replay = replay
         total = 1
         for d in dims:
             total *= d
@@ -47,32 +85,25 @@ class ShmArray:
         for k in range(len(dims) - 2, -1, -1):
             strides[k] = strides[k + 1] * dims[k + 1]
         self.strides = tuple(strides)
-        size = total * 9  # 1 flag byte + 8 value bytes per element
+        self._epoch_bytes = 8 * epoch_slots
+        size = self._epoch_bytes + total * 9  # epochs + flag + value bytes
 
         if create:
             # POSIX shm_open + ftruncate hands out zero-filled pages, so
-            # the flag region is already FLAG_ABSENT everywhere.  Never
-            # zero it explicitly: attachers may already be writing by the
-            # time the creator gets scheduled again, and a late memset
-            # would erase their presence bits.
-            self.shm = shared_memory.SharedMemory(name=name, create=True,
-                                                  size=size)
+            # the flag region is already FLAG_ABSENT (and every epoch 0)
+            # everywhere.  Never zero it explicitly: attachers may
+            # already be writing by the time the creator gets scheduled
+            # again, and a late memset would erase their presence bits.
+            try:
+                self.shm = shared_memory.SharedMemory(name=name, create=True,
+                                                      size=size)
+            except FileExistsError:
+                if not exist_ok:
+                    raise
+                # A predecessor generation created it; replay attaches.
+                self.shm = self._attach(name, size, attach_timeout_s)
         else:
-            deadline = time.monotonic() + attach_timeout_s
-            while True:
-                try:
-                    self.shm = shared_memory.SharedMemory(name=name)
-                    # The creator opens the segment before sizing it; an
-                    # attach landing in that window sees a short file.
-                    if self.shm.size >= size:
-                        break
-                    self.shm.close()
-                except (FileNotFoundError, ValueError):
-                    pass
-                if time.monotonic() > deadline:
-                    raise ExecutionError(
-                        f"shared array {name} never appeared")
-                time.sleep(0.001)
+            self.shm = self._attach(name, size, attach_timeout_s)
         self.name = name
         # Python's resource_tracker would unlink the segment when the
         # first worker that touched it exits, yanking it from under the
@@ -85,8 +116,12 @@ class ShmArray:
             resource_tracker.unregister(self.shm._name, "shared_memory")
         except Exception:  # pragma: no cover - tracker API is private-ish
             pass
-        self._flags = self.shm.buf[:total]
-        self._vals = self.shm.buf[total:total + 8 * total]
+        self._epochs = self.shm.buf[:self._epoch_bytes]
+        self._flags = self.shm.buf[self._epoch_bytes:self._epoch_bytes + total]
+        self._vals = self.shm.buf[self._epoch_bytes + total:
+                                  self._epoch_bytes + total + 8 * total]
+        if generation:
+            self.set_epoch(slot, generation)
         # Telemetry counters, all process-local (each worker holds its
         # own attachment): fed into per-worker WorkerTelemetry and from
         # there into the run's shared MetricsRegistry (repro.obs).
@@ -95,7 +130,45 @@ class ShmArray:
         self.deferred_reads = 0
         self.spin_wait_s = 0.0
         self.max_spin_wait_s = 0.0
+        self.replayed_present = 0
+        self.stall_reports = 0
         self.pages_touched: set[int] = set()
+
+    @staticmethod
+    def _attach(name: str, size: int,
+                attach_timeout_s: float) -> shared_memory.SharedMemory:
+        deadline = time.monotonic() + attach_timeout_s
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+                # The creator opens the segment before sizing it; an
+                # attach landing in that window sees a short file.
+                if shm.size >= size:
+                    return shm
+                shm.close()
+            except (FileNotFoundError, ValueError):
+                pass
+            if time.monotonic() > deadline:
+                raise ExecutionError(f"shared array {name} never appeared")
+            time.sleep(0.001)
+
+    # -- ownership epochs -----------------------------------------------
+
+    def epoch(self, slot: int) -> int:
+        """Current ownership epoch of ``slot`` (0 = never stamped)."""
+        return _PACK_INT.unpack_from(self._epochs, slot * 8)[0]
+
+    def set_epoch(self, slot: int, generation: int) -> None:
+        """Stamp ``slot``'s epoch; monotonic (never lowers the value)."""
+        if generation > self.epoch(slot):
+            _PACK_INT.pack_into(self._epochs, slot * 8, generation)
+
+    def _check_superseded(self) -> None:
+        current = _PACK_INT.unpack_from(self._epochs, self.slot * 8)[0]
+        if current > self.generation:
+            raise WorkerSuperseded(self.slot, self.generation, current)
+
+    # -- geometry --------------------------------------------------------
 
     def offset(self, indices: tuple[int, ...]) -> int:
         if len(indices) != len(self.dims):
@@ -107,12 +180,44 @@ class ShmArray:
             off += (idx - 1) * stride
         return off
 
+    def owner_of_offset(self, off: int) -> int:
+        """Worker slot whose shared-memory segment holds ``off``.
+
+        Uses the same sequential page-dealing math as the simulator's
+        Array Manager (``epoch_slots`` plays the ``num_pes`` role).  For
+        outer-dimension Range Filters the segment owner of a row start
+        is exactly the worker responsible for writing the row; for other
+        elements it is the best available hint of who the writer is.
+        """
+        from repro.runtime.arrays import num_pages, segment_of_page
+
+        pages = num_pages(self.total, self.page_size)
+        try:
+            return segment_of_page(off // self.page_size, pages,
+                                   self.epoch_slots)
+        except Exception:  # more slots than pages: fall back to slot 0
+            return 0
+
+    # -- element access --------------------------------------------------
+
     def write(self, indices: tuple[int, ...], value) -> None:
         off = self.offset(indices)
         self.writes += 1
         self.pages_touched.add(off // self.page_size)
         if self._flags[off] != FLAG_ABSENT:
+            if self.replay:
+                # Idempotent replay: the predecessor generation got this
+                # far before dying.  Single assignment guarantees the
+                # recomputed value is identical; verify to keep genuine
+                # violations (double writes in the program) detectable
+                # even under replay.
+                if self._read_present(off, self._flags[off]) != value:
+                    raise SingleAssignmentViolation(0, off)
+                self.replayed_present += 1
+                return
             raise SingleAssignmentViolation(0, off)
+        if self.generation:
+            self._check_superseded()
         base = off * 8
         if isinstance(value, bool):
             _PACK_INT.pack_into(self._vals, base, int(value))
@@ -128,26 +233,53 @@ class ShmArray:
                                  "shared array")
         self._flags[off] = flag  # presence bit set last
 
-    def read(self, indices: tuple[int, ...],
-             timeout_s: float = 30.0):
-        """I-structure read: spin until the element is present."""
+    def read(self, indices: tuple[int, ...], timeout_s: float = 30.0,
+             spin_ceiling_s: float | None = None,
+             on_stall: Callable[[dict], None] | None = None,
+             on_spin: Callable[[], None] | None = None):
+        """I-structure read: spin until the element is present.
+
+        A spin that lasts ``spin_ceiling_s`` (and every further multiple
+        of it) invokes ``on_stall`` with a structured report — array,
+        indices, flat offset, owning worker slot, seconds waited — which
+        the worker forwards to the supervisor; ``on_spin`` fires once
+        when the spin begins (the fault-injection hook).  A spin that
+        outlives ``timeout_s`` raises
+        :class:`~repro.common.errors.DeferredReadTimeout`.
+        """
         off = self.offset(indices)
         self.reads += 1
         flag = self._flags[off]
         if flag == FLAG_ABSENT:
             self.deferred_reads += 1
+            if on_spin is not None:
+                on_spin()
             spin_start = time.monotonic()
             deadline = spin_start + timeout_s
+            next_stall = (spin_start + spin_ceiling_s
+                          if spin_ceiling_s else None)
             pause = 1e-6
             try:
                 while True:
                     flag = self._flags[off]
                     if flag != FLAG_ABSENT:
                         break
-                    if time.monotonic() > deadline:
-                        raise ExecutionError(
-                            f"deferred read at offset {off} of {self.name} "
-                            "timed out (missing write -> deadlock)")
+                    if self.generation:
+                        self._check_superseded()
+                    now = time.monotonic()
+                    if next_stall is not None and now >= next_stall:
+                        self.stall_reports += 1
+                        if on_stall is not None:
+                            on_stall({"array": self.name,
+                                      "indices": list(indices),
+                                      "offset": off,
+                                      "owner": self.owner_of_offset(off),
+                                      "waited_s": now - spin_start})
+                        next_stall = now + spin_ceiling_s
+                    if now > deadline:
+                        raise DeferredReadTimeout(
+                            self.name, indices, off,
+                            self.owner_of_offset(off), now - spin_start)
                     time.sleep(pause)
                     pause = min(pause * 2, 0.001)
             finally:
@@ -155,6 +287,9 @@ class ShmArray:
                 self.spin_wait_s += waited
                 if waited > self.max_spin_wait_s:
                     self.max_spin_wait_s = waited
+        return self._read_present(off, flag)
+
+    def _read_present(self, off: int, flag: int):
         base = off * 8
         if flag == FLAG_FLOAT:
             return _PACK.unpack_from(self._vals, base)[0]
@@ -169,6 +304,8 @@ class ShmArray:
             "deferred_reads": self.deferred_reads,
             "spin_wait_s": self.spin_wait_s,
             "max_spin_wait_s": self.max_spin_wait_s,
+            "replayed_present": self.replayed_present,
+            "stall_reports": self.stall_reports,
             "pages_touched": sorted(self.pages_touched),
         }
 
@@ -194,6 +331,7 @@ class ShmArray:
 
     def close(self) -> None:
         # Memoryview slices must be released before closing the segment.
+        self._epochs.release()
         self._flags.release()
         self._vals.release()
         self.shm.close()

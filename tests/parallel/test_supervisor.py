@@ -41,6 +41,12 @@ def assert_no_leaked_segments():
     assert not glob.glob("/dev/shm/pods*"), "leaked shared memory"
 
 
+# These tests exercise the *fail-fast* layer underneath recovery: with
+# recovery on (the default) an injected kill/drop would simply be healed
+# (see tests/parallel/test_recovery.py for that behaviour).
+NO_RECOVERY = ParallelConfig(workers=2, timeout_s=60.0, recovery=False)
+
+
 class TestFaultPlanParsing:
     def test_parse_round_trip(self):
         from repro.parallel.faults import FaultPlan
@@ -77,7 +83,7 @@ class TestSupervisor:
         p = compile_source(FILL)
         start = time.monotonic()
         with pytest.raises(ParallelExecutionError) as exc:
-            p.run_parallel((10,), workers=2, timeout_s=60.0,
+            p.run_parallel((10,), workers=2, config=NO_RECOVERY,
                            faults="kill:worker=1,on=iter,after=2")
         elapsed = time.monotonic() - start
         (failure,) = exc.value.failures
@@ -96,7 +102,7 @@ class TestSupervisor:
         p = compile_source(FILL)
         start = time.monotonic()
         with pytest.raises(ParallelExecutionError) as exc:
-            p.run_parallel((24,), workers=2, timeout_s=60.0,
+            p.run_parallel((24,), workers=2, config=NO_RECOVERY,
                            faults="kill:worker=1,on=iter,after=0")
         elapsed = time.monotonic() - start
         assert [f.worker for f in exc.value.failures] == [1]
@@ -119,7 +125,7 @@ class TestSupervisor:
     def test_dropped_worker_reported_lost(self):
         p = compile_source(FILL)
         with pytest.raises(ParallelExecutionError) as exc:
-            p.run_parallel((10,), workers=2, timeout_s=60.0,
+            p.run_parallel((10,), workers=2, config=NO_RECOVERY,
                            faults="drop:worker=1")
         (failure,) = exc.value.failures
         assert failure.kind == "lost"
@@ -144,7 +150,7 @@ class TestSupervisor:
         # Callers that predate the supervisor catch ExecutionError.
         p = compile_source(FILL)
         with pytest.raises(ExecutionError):
-            p.run_parallel((10,), workers=2, timeout_s=60.0,
+            p.run_parallel((10,), workers=2, config=NO_RECOVERY,
                            faults="kill:worker=0,on=iter,after=1")
         assert_no_leaked_segments()
 
@@ -152,7 +158,7 @@ class TestSupervisor:
         p = compile_source(FILL)
         monkeypatch.setenv("PODS_FAULTS", "kill:worker=1,on=iter,after=1")
         with pytest.raises(ParallelExecutionError):
-            p.run_parallel((10,), workers=2, timeout_s=60.0)
+            p.run_parallel((10,), workers=2, config=NO_RECOVERY)
         monkeypatch.delenv("PODS_FAULTS")
         result = p.run_parallel((6,), workers=2)
         assert result.value[6, 6] == pytest.approx(36.25)

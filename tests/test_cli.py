@@ -155,6 +155,57 @@ class TestProfile:
                      "-o", str(dest)]) == 0
         assert "critical path" in dest.read_text()
 
+    def test_profile_parallel_backend(self, program_file, capsys):
+        assert main(["profile", program_file, "--backend", "parallel",
+                     "--args", "5", "--pes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        assert "parallel run:" in out
+        assert "sh-writes" in out
+        assert "recovery" in out
+
+
+class TestParallelBackend:
+    def test_run_parallel(self, program_file, capsys):
+        assert main(["run", program_file, "--backend", "parallel",
+                     "--args", "5", "--pes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        assert "2 workers" in out
+        # No faults injected -> no recovery table in the output.
+        assert "respawn" not in out
+
+    def test_run_parallel_heals_and_reports(self, program_file, capsys):
+        assert main(["run", program_file, "--backend", "parallel",
+                     "--args", "5", "--pes", "2", "--retries", "2",
+                     "--faults", "kill:worker=1,on=iter,after=1"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        assert "respawn" in out
+        assert "respawns=1" in out
+
+    def test_run_parallel_no_recovery_fails_fast(self, program_file,
+                                                 capsys):
+        assert main(["run", program_file, "--backend", "parallel",
+                     "--args", "5", "--pes", "2", "--no-recovery",
+                     "--faults", "kill:worker=1,on=iter,after=1"]) == 1
+        err = capsys.readouterr().err
+        assert "crash" in err
+
+    def test_run_parallel_trace_json(self, program_file, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_trace_events
+
+        dest = tmp_path / "trace.json"
+        assert main(["run", program_file, "--backend", "parallel",
+                     "--args", "5", "--pes", "2",
+                     "--trace-json", str(dest)]) == 0
+        trace = json.loads(dest.read_text())
+        assert validate_trace_events(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "exec" in names
+
 
 class TestFormat:
     def test_format_round_trips(self, program_file, capsys):
