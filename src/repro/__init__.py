@@ -28,6 +28,8 @@ from repro.common.config import MachineConfig, SimConfig
 from repro.common.errors import (
     DeadlockError,
     LanguageError,
+    LivelockError,
+    PEHaltError,
     PodsError,
     RuntimeFault,
     SingleAssignmentViolation,
@@ -42,8 +44,10 @@ __all__ = [
     "ArrayValue",
     "DeadlockError",
     "LanguageError",
+    "LivelockError",
     "Machine",
     "MachineConfig",
+    "PEHaltError",
     "PodsError",
     "Program",
     "RunResult",

@@ -39,17 +39,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.sim.machine import run_program
         from repro.translator.serialize import load_program
 
-        if args.backend != "pods":
+        if args.backend not in ("pods", "sim"):
             print("error: .pods files run on the PODS simulator only",
                   file=sys.stderr)
             return 1
         pods = load_program(args.file)
-        config = SimConfig(machine=MachineConfig(num_pes=args.pes))
+        config = SimConfig(machine=MachineConfig(num_pes=args.pes),
+                           faults=args.faults,
+                           max_sim_time_us=args.max_sim_time_us)
         result = run_program(pods, call_args, config)
         print(f"value: {result.value}")
         print(f"modeled time: {result.finish_time_s:.6f} s on {args.pes} PEs")
         if args.stats:
-            print(result.stats.report())
+            print(result.stats.report())  # includes the fault table
+        else:
+            _print_fault_table(result)
         return 0
     program = _load(args.file, optimize=args.optimize)
     if args.backend == "sequential":
@@ -79,13 +83,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             with open(args.trace_json, "w") as fh:
                 fh.write(parallel_trace_json(result) + "\n")
             print(f"wrote {args.trace_json}")
-    else:
-        result = program.run_pods(call_args, num_pes=args.pes)
+    else:  # pods / sim
+        from repro.common.config import MachineConfig, SimConfig
+
+        config = SimConfig(machine=MachineConfig(num_pes=args.pes),
+                           faults=args.faults,
+                           max_sim_time_us=args.max_sim_time_us)
+        result = program.run_pods(call_args, num_pes=args.pes,
+                                  config=config)
         print(f"value: {result.value}")
         print(f"modeled time: {result.finish_time_s:.6f} s on {args.pes} PEs")
         if args.stats:
-            print(result.stats.report())
+            print(result.stats.report())  # includes the fault table
+        else:
+            _print_fault_table(result)
     return 0
+
+
+def _print_fault_table(result) -> None:
+    """Network fault/recovery summary for chaos runs (sim backend)."""
+    ns = getattr(result.stats, "netstats", None)
+    if ns is not None and ns.any_faults():
+        print(ns.table())
 
 
 def _cmd_listing(args: argparse.Namespace) -> int:
@@ -127,10 +146,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     program = _load(args.file)
     call_args = tuple(_parse_value(a) for a in (args.args or []))
     obs = ObsConfig(metrics=True, timelines=True, trace=True, waits=True)
-    config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs)
+    config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs,
+                       faults=args.faults)
     machine = Machine(program.pods, config)
     result = machine.run(call_args)
     tracer = machine.tracer
+    netspans = (result.stats.netstats.spans
+                if result.stats.netstats is not None else ())
 
     if args.format == "perfetto":
         # Only the JSON goes to stdout: identical runs must produce
@@ -139,7 +161,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                              num_pes=args.pes, pe=args.pe,
                              since_us=args.since_us,
                              waits=result.stats.waits,
-                             finish_us=result.stats.finish_time_us)
+                             finish_us=result.stats.finish_time_us,
+                             netspans=netspans)
         if tracer.truncated:
             print(tracer.drop_warning(), file=sys.stderr)
         if args.output:
@@ -229,7 +252,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print(text)
         return 0
     obs = ObsConfig(metrics=True, timelines=True, waits=True)
-    config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs)
+    config = SimConfig(machine=MachineConfig(num_pes=args.pes), obs=obs,
+                       faults=args.faults)
     machine = Machine(program.pods, config)
     result = machine.run(call_args)
     profile = Profile.from_stats(result.stats)
@@ -290,7 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--pes", type=int, default=1,
                      help="PE / worker count (default 1)")
     run.add_argument("--backend", default="pods",
-                     choices=["pods", "sequential", "static", "parallel"])
+                     choices=["pods", "sim", "sequential", "static",
+                              "parallel"],
+                     help="'sim' is an alias for the PODS simulator "
+                          "('pods')")
     run.add_argument("--stats", action="store_true",
                      help="print the machine statistics report")
     run.add_argument("--optimize", action="store_true",
@@ -302,8 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="parallel backend: fail fast on the first worker "
                           "failure instead of self-healing")
     run.add_argument("--faults",
-                     help="parallel backend: fault-injection spec, e.g. "
-                          "'kill:worker=1,on=write,after=5'")
+                     help="fault-injection spec (shared grammar, per-"
+                          "backend dialect): parallel e.g. "
+                          "'kill:worker=1,on=write,after=5'; sim e.g. "
+                          "'drop:kind=page,count=2;pe-halt:pe=1,at=500'")
+    run.add_argument("--max-sim-time-us", type=float, default=None,
+                     help="sim backend: modeled-time wall; crossing it "
+                          "raises a structured LivelockError/PEHaltError "
+                          "instead of simulating forever")
     run.add_argument("--trace-json",
                      help="parallel backend: write a Perfetto trace (with "
                           "recovery spans) to this path")
@@ -348,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="events to print in text format (default 40)")
     trace.add_argument("--kind", help="filter by event kind "
                        "(frame-create, block, message, ...)")
+    trace.add_argument("--faults",
+                       help="sim fault-injection spec; chaos runs add a "
+                            "per-PE NET track of retransmit spans to the "
+                            "perfetto export")
     trace.add_argument("-o", "--output",
                        help="write to a file instead of stdout")
     trace.set_defaults(func=_cmd_trace)
@@ -365,6 +402,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "table")
     prof.add_argument("--top", type=int, default=10,
                       help="SPs to list by critical-path share (default 10)")
+    prof.add_argument("--faults",
+                      help="sim fault-injection spec; chaos runs append "
+                           "the network fault/recovery summary")
     prof.add_argument("--optimize", action="store_true",
                       help="enable CSE + invariant hoisting + DCE")
     prof.add_argument("-o", "--output",

@@ -7,8 +7,10 @@ from repro.common.errors import (
     ExecutionError,
     GraphError,
     LanguageError,
+    LivelockError,
     LexError,
     ParseError,
+    PEHaltError,
     PartitionError,
     PodsError,
     RuntimeFault,
@@ -24,8 +26,10 @@ __all__ = [
     "ExecutionError",
     "GraphError",
     "LanguageError",
+    "LivelockError",
     "LexError",
     "MachineConfig",
+    "PEHaltError",
     "ParseError",
     "PartitionError",
     "PodsError",

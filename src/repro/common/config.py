@@ -213,6 +213,30 @@ class SimConfig:
             to message deliveries.  Used by the Church-Rosser property
             tests: results must not change, only timings.
         jitter_max_us: Upper bound of the injected delay in microseconds.
+        faults: Simulated-network fault plan — a spec string or
+            :class:`repro.sim.netfaults.SimFaultPlan`; ``None`` defers to
+            the ``PODS_SIM_FAULTS`` environment variable (normally
+            empty).  Any active plan also arms the reliable-delivery
+            protocol (:mod:`repro.sim.reliable`).
+        reliable: Force the reliable-delivery protocol on (True) or off
+            (False) regardless of the fault plan; ``None`` (the default)
+            arms it exactly when a fault plan is active.  With the
+            protocol off and no faults the simulator is byte-identical
+            to the pre-fault-model machine.
+        max_sim_time_us: Progress wall in *modeled* time, next to
+            ``max_events``: a run whose clock crosses this raises a
+            structured :class:`repro.common.errors.LivelockError`
+            (or ``PEHaltError`` when a halted PE is the cause) instead
+            of simulating forever.  ``None`` = no wall.
+        retransmit_timeout_us: How long a reliably-sent message waits
+            for its ack before the sender retransmits.
+        retransmit_budget: Retransmissions allowed per (src, dst)
+            channel before the run aborts with a structured error — the
+            guardrail that turns a dead PE or a 100%-lossy link into a
+            diagnosis instead of infinite retries.
+        quiescence_us: Livelock/partition detector window: when nothing
+            but retransmissions has happened for this much modeled time,
+            the run aborts with the appropriate structured error.
     """
 
     machine: MachineConfig = field(default_factory=MachineConfig)
@@ -221,6 +245,24 @@ class SimConfig:
     obs: ObsConfig = field(default_factory=ObsConfig)
     jitter_seed: int | None = None
     jitter_max_us: float = 50.0
+    faults: object = None
+    reliable: bool | None = None
+    max_sim_time_us: float | None = None
+    retransmit_timeout_us: float = 5_000.0
+    retransmit_budget: int = 8
+    quiescence_us: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        if self.max_sim_time_us is not None and self.max_sim_time_us <= 0:
+            raise ValueError("max_sim_time_us must be > 0")
+        if self.retransmit_timeout_us <= 0:
+            raise ValueError("retransmit_timeout_us must be > 0")
+        if self.retransmit_budget < 1:
+            raise ValueError("retransmit_budget must be >= 1")
+        if self.quiescence_us <= 0:
+            raise ValueError("quiescence_us must be > 0")
 
     def with_pes(self, num_pes: int) -> "SimConfig":
         """Return a copy of this config with a different PE count."""

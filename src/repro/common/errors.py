@@ -97,23 +97,99 @@ class BoundsViolation(RuntimeFault):
         )
 
 
+def _progress_report(blocked: list[str], channels: list[str],
+                     last_progress_us: float | None) -> str:
+    """Shared diagnostic tail for stuck-machine errors.
+
+    Lists the blocked SPs, any channels with undelivered (unacked)
+    messages, and when the machine last made real progress — the three
+    facts that distinguish a dataflow deadlock (missing write, no
+    pending traffic) from a livelock or lost-message partition (traffic
+    pending, progress stopped).
+    """
+    detail = ""
+    if blocked:
+        shown = "\n  ".join(blocked[:20])
+        detail += f"\nblocked waiters:\n  {shown}"
+        if len(blocked) > 20:
+            detail += f"\n  ... and {len(blocked) - 20} more"
+    if channels:
+        shown = "\n  ".join(channels[:20])
+        detail += f"\npending message/ack channels:\n  {shown}"
+        if len(channels) > 20:
+            detail += f"\n  ... and {len(channels) - 20} more"
+    if last_progress_us is not None:
+        detail += f"\nlast progress at t={last_progress_us:.1f} us"
+    return detail
+
+
 class DeadlockError(RuntimeFault):
     """The machine went idle while SPs were still blocked.
 
     Under single assignment this means some element was read but never
     written; the diagnostic lists the blocked readers to make the missing
-    write findable.
+    write findable, plus any channels still holding undelivered messages
+    and the last-progress time — so deadlock (no pending traffic),
+    livelock, and lost-message cases read differently from the error
+    text alone.
     """
 
-    def __init__(self, message: str, blocked: list[str] | None = None) -> None:
+    def __init__(self, message: str, blocked: list[str] | None = None,
+                 channels: list[str] | None = None,
+                 last_progress_us: float | None = None) -> None:
         self.blocked = blocked or []
-        detail = ""
-        if self.blocked:
-            shown = "\n  ".join(self.blocked[:20])
-            detail = f"\nblocked waiters:\n  {shown}"
-            if len(self.blocked) > 20:
-                detail += f"\n  ... and {len(self.blocked) - 20} more"
-        super().__init__(message + detail)
+        self.channels = channels or []
+        self.last_progress_us = last_progress_us
+        super().__init__(message + _progress_report(
+            self.blocked, self.channels, last_progress_us))
+
+
+class PEHaltError(RuntimeFault):
+    """A halted (crashed) PE stranded the rest of the machine.
+
+    Raised by the simulator when progress stops and a ``pe-halt`` fault
+    is the cause: a channel to the dead PE exhausted its retransmit
+    budget, or the machine drained with the dead PE holding tokens or
+    I-structure pages other SPs need.  Carries the lost PE, the stranded
+    SPs (``PE.describe_blocked`` lines), and the channels with
+    undelivered messages.
+    """
+
+    def __init__(self, pe: int, stranded: list[str] | None = None,
+                 channels: list[str] | None = None,
+                 sim_time_us: float | None = None,
+                 last_progress_us: float | None = None) -> None:
+        self.pe = pe
+        self.stranded = stranded or []
+        self.channels = channels or []
+        self.sim_time_us = sim_time_us
+        when = (f" at t={sim_time_us:.1f} us"
+                if sim_time_us is not None else "")
+        super().__init__(
+            f"PE {pe} halted and cannot recover{when}" + _progress_report(
+                self.stranded, self.channels, last_progress_us))
+
+
+class LivelockError(RuntimeFault):
+    """The machine kept firing events without making progress.
+
+    Raised when a channel exhausts its retransmit budget against a
+    live-but-unreachable receiver, when the quiescence detector sees
+    nothing but retransmissions for longer than the configured window,
+    or when a run crosses ``SimConfig.max_sim_time_us`` — the guarantee
+    is a structured failure, never a hang.
+    """
+
+    def __init__(self, message: str, blocked: list[str] | None = None,
+                 channels: list[str] | None = None,
+                 sim_time_us: float | None = None,
+                 last_progress_us: float | None = None) -> None:
+        self.blocked = blocked or []
+        self.channels = channels or []
+        self.sim_time_us = sim_time_us
+        self.last_progress_us = last_progress_us
+        super().__init__(message + _progress_report(
+            self.blocked, self.channels, last_progress_us))
 
 
 class ExecutionError(RuntimeFault):

@@ -1,0 +1,81 @@
+"""The shared fault-plan grammar spoken by both chaos backends.
+
+A fault plan is a compact spec string of semicolon-separated clauses::
+
+    action:key=value,key=value;action:key=value
+
+Both the real-parallel backend (:mod:`repro.parallel.faults` — process
+faults like ``kill``/``hang``) and the simulated machine
+(:mod:`repro.sim.netfaults` — network faults like ``drop``/``dup``/
+``reorder`` and PE faults like ``pe-halt``) parse their plans with the
+helpers here, so the two dialects differ only in their action/qualifier
+vocabulary, never in syntax.  Each dialect supplies a *schema* mapping
+qualifier names to coercions (``int``/``float``/``str``); anything
+outside the schema is a hard ``ValueError`` — fault plans are a test
+instrument and must never guess.
+
+Environment handling is shared too: :func:`spec_from_env` reads a plan
+spec from an environment variable (``PODS_FAULTS`` for the parallel
+backend, ``PODS_SIM_FAULTS`` for the simulator) so a whole test process
+or chaos soak can inject faults without threading arguments through
+every call site.  Qualifiers common to both dialects — counting windows
+(``after``), generation/seed selectors (``gen``, ``seed``) — keep one
+spelling and one meaning on both sides.
+"""
+
+from __future__ import annotations
+
+import os
+
+PARALLEL_ENV_VAR = "PODS_FAULTS"
+SIM_ENV_VAR = "PODS_SIM_FAULTS"
+
+
+def split_clauses(spec: str) -> list[tuple[str, str]]:
+    """Split a plan spec into ``(action, argstr)`` clause pairs.
+
+    Empty clauses (stray semicolons, surrounding whitespace) are
+    dropped; the action name is stripped but not validated — that is the
+    dialect's job.
+    """
+    out: list[tuple[str, str]] = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        action, _, argstr = part.partition(":")
+        out.append((action.strip(), argstr))
+    return out
+
+
+def parse_clause_args(argstr: str, schema: dict, clause: str = "") -> dict:
+    """Parse ``key=value,...`` into kwargs using a dialect schema.
+
+    ``schema`` maps each legal qualifier name to a coercion callable
+    (``int``, ``float``, ``str``).  Raises ``ValueError`` on a missing
+    ``=``, an unknown key, or a value the coercion rejects; ``clause``
+    names the offending clause in the message.
+    """
+    kwargs: dict = {}
+    if not argstr.strip():
+        return kwargs
+    for pair in argstr.split(","):
+        key, eq, value = pair.partition("=")
+        key = key.strip()
+        if not eq:
+            raise ValueError(f"bad fault argument {pair!r} in {clause!r}")
+        coerce = schema.get(key)
+        if coerce is None:
+            raise ValueError(f"unknown fault key {key!r}")
+        try:
+            kwargs[key] = coerce(value.strip() if coerce is str else value)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad value for fault key {key!r} in {clause!r}: {exc}"
+            ) from None
+    return kwargs
+
+
+def spec_from_env(var: str) -> str | None:
+    """Read a plan spec from an environment variable (None when unset)."""
+    return os.environ.get(var)

@@ -25,6 +25,7 @@ from repro.sim.stats import UNITS
 
 SP_TRACK = len(UNITS)  # tid of the per-PE SP-lifecycle track
 WAIT_TRACK = SP_TRACK + 1  # tid of the per-PE wait-state track
+NET_TRACK = WAIT_TRACK + 1  # tid of the per-PE reliable-delivery track
 _UNIT_TID = {unit: tid for tid, unit in enumerate(UNITS)}
 
 
@@ -46,7 +47,7 @@ def filter_events(events: Iterable, pe: int | None = None,
 def perfetto_trace(timelines=None, events: Iterable = (),
                    num_pes: int = 1, pe: int | None = None,
                    since_us: float = 0.0, waits=None,
-                   finish_us: float = 0.0) -> dict:
+                   finish_us: float = 0.0, netspans: Iterable = ()) -> dict:
     """Build the trace_event JSON object (see module docstring).
 
     With a :class:`repro.obs.waits.WaitStore` passed as ``waits`` (and
@@ -54,8 +55,16 @@ def perfetto_trace(timelines=None, events: Iterable = (),
     "WAIT" track of complete events — the attributed idle intervals of
     :func:`repro.obs.critpath.pe_wait_intervals`, named by cause
     category.
+
+    ``netspans`` takes the reliable-delivery layer's retransmit spans
+    (``RunStats.netstats.spans`` — tuples of ``(pe, start_us, end_us,
+    label)``); PEs that retransmitted anything get a "NET" track showing
+    each healing re-send in flight.
     """
     pes = [pe] if pe is not None else list(range(num_pes))
+    netspans = [s for s in netspans
+                if pe is None or s[0] == pe]
+    net_pids = {s[0] for s in netspans}
     out: list[dict] = []
     for pid in pes:
         out.append({"ph": "M", "name": "process_name", "pid": pid,
@@ -69,6 +78,17 @@ def perfetto_trace(timelines=None, events: Iterable = (),
             out.append({"ph": "M", "name": "thread_name", "pid": pid,
                         "tid": WAIT_TRACK,
                         "args": {"name": f"PE{pid} WAIT"}})
+        if pid in net_pids:
+            out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": NET_TRACK,
+                        "args": {"name": f"PE{pid} NET"}})
+
+    for src, start, end, label in netspans:
+        if end < since_us:
+            continue
+        out.append({"ph": "X", "name": label, "cat": "net",
+                    "pid": src, "tid": NET_TRACK, "ts": start,
+                    "dur": end - start})
 
     if waits is not None and timelines is not None:
         from repro.obs.critpath import pe_wait_intervals
@@ -116,11 +136,13 @@ def perfetto_trace(timelines=None, events: Iterable = (),
 
 def perfetto_json(timelines=None, events: Iterable = (), num_pes: int = 1,
                   pe: int | None = None, since_us: float = 0.0,
-                  waits=None, finish_us: float = 0.0) -> str:
+                  waits=None, finish_us: float = 0.0,
+                  netspans: Iterable = ()) -> str:
     """Deterministic (byte-stable) JSON encoding of the trace."""
     return json.dumps(
         perfetto_trace(timelines, events, num_pes, pe=pe,
-                       since_us=since_us, waits=waits, finish_us=finish_us),
+                       since_us=since_us, waits=waits, finish_us=finish_us,
+                       netspans=netspans),
         sort_keys=True, separators=(",", ":"))
 
 

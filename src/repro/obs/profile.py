@@ -34,6 +34,9 @@ class Profile:
     breakdown: list[dict[str, float]]     # per-PE wait category -> us
     path: CriticalPath
     names: dict[int, str]
+    # Reliable-delivery counters when the run was executed under a fault
+    # plan (RunStats.netstats); None for fault-free runs.
+    netstats: object = None
 
     @classmethod
     def from_stats(cls, stats) -> "Profile":
@@ -53,7 +56,8 @@ class Profile:
         path = critical_path(stats.waits, finish)
         return cls(finish_us=finish, num_pes=num_pes, busy_us=busy,
                    breakdown=breakdown, path=path,
-                   names=sp_names(stats.waits))
+                   names=sp_names(stats.waits),
+                   netstats=getattr(stats, "netstats", None))
 
     # -- invariants -----------------------------------------------------
 
@@ -130,6 +134,9 @@ class Profile:
         else:
             lines.append("what-if: critical path is pure compute - no "
                          "wait category to zero")
+        if self.netstats is not None and self.netstats.any_faults():
+            lines.append("")
+            lines.append(self.netstats.table())
         return "\n".join(lines)
 
     def _pct(self, us: float) -> str:

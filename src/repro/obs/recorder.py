@@ -59,13 +59,20 @@ class ObsRecorder:
     # -- end-of-run publication -----------------------------------------
 
     def build_registry(self, pe_stats: list, units: tuple,
-                       finish_us: float) -> MetricsRegistry:
+                       finish_us: float, net=None) -> MetricsRegistry:
         """Fold counters + recorded decisions into one registry.
 
         Metric names prefixed ``sim.`` are simulator-model quantities;
         the un-prefixed ``rf.*`` / ``array.*`` families are *semantic*
         (they depend only on the program, not on the execution model)
         and are published identically by the parallel backend.
+
+        ``net`` is the run's :class:`repro.sim.reliable.ReliableNet`
+        when the fault-tolerant delivery layer was armed; its counters
+        publish as the ``net.*`` family.  Zero-valued counters are
+        skipped so a clean reliable run adds only ``net.sent`` and
+        ``net.acks`` rows, and a fault-free (layer-off) run adds none —
+        keeping registry dumps byte-identical to pre-fault-model runs.
         """
         reg = MetricsRegistry()
         reg.set_gauge("sim.finish_time_us", finish_us)
@@ -121,4 +128,18 @@ class ObsRecorder:
             for pid, per_cause in enumerate(breakdown):
                 for cause, us in sorted(per_cause.items()):
                     reg.set_gauge("wait.us", us, pe=str(pid), cause=cause)
+        if net is not None:
+            ns = net.stats
+            for name, value in (
+                ("net.sent", ns.sent),
+                ("net.acks", ns.acks_sent),
+                ("net.retransmits", ns.retransmits),
+                ("net.dropped", ns.dropped),
+                ("net.duplicated", ns.duplicated),
+                ("net.delayed", ns.delayed),
+                ("net.dup_discarded", ns.dup_discarded),
+                ("net.halt_lost", ns.halt_lost),
+            ):
+                if value:
+                    reg.inc(name, value)
         return reg

@@ -44,6 +44,11 @@ deferred-read spin.
 
 Faults are a test/bench instrument: parsing is strict and raises
 ``ValueError`` on anything malformed rather than guessing.
+
+The spec syntax (clause splitting, key=value parsing, env handling) is
+the shared grammar of :mod:`repro.common.faultplan`; the simulated
+machine's network faults (:mod:`repro.sim.netfaults`) speak the same
+dialect with a different action vocabulary.
 """
 
 from __future__ import annotations
@@ -52,12 +57,18 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro.common import faultplan
+
 DEFAULT_KILL_EXITCODE = 113
 
 _ACTIONS = ("kill", "hang", "drop", "delay")
 _EVENTS = ("iter", "write", "result", "spin")
 _DEFAULT_EVENT = {"kill": "iter", "hang": "iter", "drop": "result",
                   "delay": "write"}
+
+# The parallel dialect's qualifier schema (see common/faultplan.py).
+_SCHEMA = {"worker": int, "after": int, "exitcode": int, "gen": int,
+           "seconds": float, "on": str}
 
 
 @dataclass(frozen=True)
@@ -106,36 +117,18 @@ class FaultPlan:
         if not spec or not spec.strip():
             return FaultPlan()
         faults = []
-        for part in spec.split(";"):
-            part = part.strip()
-            if not part:
-                continue
-            action, _, argstr = part.partition(":")
-            action = action.strip()
-            kwargs: dict = {}
-            if argstr.strip():
-                for pair in argstr.split(","):
-                    key, eq, value = pair.partition("=")
-                    key = key.strip()
-                    if not eq:
-                        raise ValueError(f"bad fault argument {pair!r} "
-                                         f"in {part!r}")
-                    if key in ("worker", "after", "exitcode", "gen"):
-                        kwargs[key] = int(value)
-                    elif key == "seconds":
-                        kwargs[key] = float(value)
-                    elif key == "on":
-                        kwargs[key] = value.strip()
-                    else:
-                        raise ValueError(f"unknown fault key {key!r}")
+        for action, argstr in faultplan.split_clauses(spec):
+            clause = f"{action}:{argstr}" if argstr else action
+            kwargs = faultplan.parse_clause_args(argstr, _SCHEMA, clause)
             if "worker" not in kwargs:
-                raise ValueError(f"fault {part!r} needs worker=<k>")
+                raise ValueError(f"fault {clause!r} needs worker=<k>")
             faults.append(Fault(action=action, **kwargs))
         return FaultPlan(tuple(faults))
 
     @staticmethod
     def from_env() -> "FaultPlan":
-        return FaultPlan.parse(os.environ.get("PODS_FAULTS"))
+        return FaultPlan.parse(
+            faultplan.spec_from_env(faultplan.PARALLEL_ENV_VAR))
 
 
 def resolve_plan(faults) -> FaultPlan:

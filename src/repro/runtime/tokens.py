@@ -185,6 +185,49 @@ Message = (
 )
 
 
+# -- reliable-delivery envelopes (repro.sim.reliable) -------------------
+
+
+@dataclass(frozen=True)
+class SeqMsg:
+    """A data message carrying its per-(src, dst) channel sequence number.
+
+    Only the fault-tolerant network path wraps messages; the fault-free
+    simulator ships the bare message types above, unchanged.  The four
+    extra wire bytes model the sequence-number header.
+    """
+
+    seq: int
+    msg: Message
+
+    @property
+    def src_pe(self) -> int:
+        return self.msg.src_pe
+
+    @property
+    def dst_pe(self) -> int:
+        return self.msg.dst_pe
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.msg.wire_bytes + 4
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    """Fire-and-forget receipt for one sequence number.
+
+    Acks are never themselves acked (their loss is healed by sender
+    retransmission), so they carry no sequence number of their own.
+    """
+
+    src_pe: int
+    dst_pe: int
+    seq: int
+
+    wire_bytes: int = 16
+
+
 @dataclass
 class TokenCounter:
     """Aggregate token/message statistics for one run."""

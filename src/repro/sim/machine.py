@@ -35,12 +35,18 @@ from heapq import heappop, heappush
 from typing import Any
 
 from repro.common.config import SimConfig
-from repro.common.errors import DeadlockError, ExecutionError
+from repro.common.errors import (
+    DeadlockError,
+    ExecutionError,
+    LivelockError,
+    PEHaltError,
+)
 from repro.runtime.arrays import ArrayHeader
 from repro.runtime.frames import ABSENT, BLOCKED, DONE, READY, RUNNING, Frame
 from repro.runtime.istructure import ABSENT as CELL_ABSENT
 from repro.runtime.istructure import IStructureSegment
 from repro.runtime.tokens import (
+    AckMsg,
     AllocRequestMsg,
     BroadcastTokensMsg,
     DirectToken,
@@ -49,6 +55,7 @@ from repro.runtime.tokens import (
     ReadRequestMsg,
     RemoteWriteMsg,
     ReturnAddress,
+    SeqMsg,
     TokenBatchMsg,
     ValueResponseMsg,
 )
@@ -60,6 +67,17 @@ from repro.translator import isa
 
 ROOT_UID = 0
 _UNSET = object()
+
+# Message class -> fault-plan ``kind`` qualifier (repro.sim.netfaults).
+_MSG_KIND = {
+    TokenBatchMsg: "token",
+    BroadcastTokensMsg: "bcast",
+    ReadRequestMsg: "read",
+    PageResponseMsg: "page",
+    ValueResponseMsg: "value",
+    RemoteWriteMsg: "write",
+    AllocRequestMsg: "alloc",
+}
 
 
 @dataclass
@@ -125,6 +143,38 @@ class Machine:
         # Wait-state hooks check this one attribute on the hot path.
         self._waits = self.obs.waits if self.obs is not None else None
 
+        # Network fault model + reliable delivery (repro.sim.netfaults /
+        # repro.sim.reliable).  Everything stays None on the default
+        # config: a fault-free run pays one `is None` check in _transmit
+        # and is byte-identical to the pre-fault-model simulator.
+        from repro.sim.netfaults import resolve_sim_plan
+
+        plan = resolve_sim_plan(self.config.faults)
+        self._plan = plan
+        reliable_on = (self.config.reliable if self.config.reliable
+                       is not None else bool(plan))
+        self._net = None
+        self._injector = None
+        if reliable_on:
+            from repro.sim.netfaults import NetFaultInjector
+            from repro.sim.reliable import ReliableNet
+
+            self._net = ReliableNet()
+            self._injector = NetFaultInjector(plan)
+        self._halted: list[int] = []   # pids halted so far (arm order)
+        self._last_progress_us = 0.0
+        self._finish_us = 0.0
+        for f in plan.pe_faults():
+            if f.pe >= self.mc.num_pes:
+                raise ExecutionError(
+                    f"fault {f.action} targets PE {f.pe} but the machine "
+                    f"has {self.mc.num_pes} PE(s)")
+            if f.action == "pe-halt":
+                self.schedule(f.at, self._pe_halt, self.pes[f.pe])
+            else:
+                self.schedule(f.at, self._pe_degrade, self.pes[f.pe],
+                              f.factor)
+
     # ------------------------------------------------------------------
     # event queue
     # ------------------------------------------------------------------
@@ -135,6 +185,8 @@ class Machine:
 
     def _serve(self, pe: PE, unit_attr: str, unit: str, cost: float) -> float:
         """Sequential-server model: occupy the unit for ``cost`` us."""
+        if pe.degrade != 1.0:
+            cost *= pe.degrade
         start = max(self.now, getattr(pe, unit_attr))
         done = start + cost
         setattr(pe, unit_attr, done)
@@ -157,6 +209,15 @@ class Machine:
 
         queue = self._queue
         limit = self.config.max_events
+        wall = self.config.max_sim_time_us
+        net = self._net
+        # Reliable-delivery housekeeping (retransmit checks, ack flights)
+        # trails behind the last *productive* event; finish-time and
+        # progress tracking must not credit it, or recovered faults would
+        # inflate finish_time_us past the real computation and the
+        # quiescence detector could never fire.
+        maintenance = ((self._net_check, self._net_transmit_ack,
+                        self._net_ack_receive) if net is not None else ())
         while queue:
             self.now, _, fn, fargs = heappop(queue)
             self.events_processed += 1
@@ -165,20 +226,35 @@ class Machine:
                     f"event limit {limit} exceeded at t={self.now:.1f} us "
                     "(runaway program?)"
                 )
+            if wall is not None and self.now > wall:
+                if self.result is _UNSET or self.frames:
+                    raise self._stuck_error(
+                        f"simulated time crossed max_sim_time_us="
+                        f"{wall:g} us")
+                break  # complete; abandon trailing housekeeping
+            if net is not None and fn not in maintenance:
+                self._finish_us = self._last_progress_us = self.now
             fn(*fargs)
 
         if self.result is _UNSET or self.frames:
             blocked: list[str] = []
             for pe in self.pes:
                 blocked.extend(pe.describe_blocked())
+            channels = net.describe_pending() if net is not None else []
+            if self._halted:
+                raise PEHaltError(
+                    self._halted[0], blocked, channels, self.now,
+                    self._last_progress_us)
             what = ("program produced no result"
                     if self.result is _UNSET
                     else f"{len(self.frames)} SP(s) never completed")
             raise DeadlockError(
                 f"machine went idle at t={self.now:.1f} us but {what}",
-                blocked,
+                blocked, channels,
+                self._last_progress_us if net is not None else None,
             )
 
+        finish = self._finish_us if net is not None else self.now
         timelines = registry = waits = None
         if self.obs is not None:
             timelines = self.obs.timelines
@@ -187,16 +263,18 @@ class Machine:
                 from repro.sim.stats import UNITS
 
                 registry = self.obs.build_registry(
-                    [pe.stats for pe in self.pes], UNITS, self.now)
+                    [pe.stats for pe in self.pes], UNITS, finish,
+                    net=net)
         stats = RunStats(
             num_pes=self.mc.num_pes,
-            finish_time_us=self.now,
+            finish_time_us=finish,
             pe_stats=[pe.stats for pe in self.pes],
             events_processed=self.events_processed,
             max_live_frames=self.max_live_frames,
             timelines=timelines,
             registry=registry,
             waits=waits,
+            netstats=net.stats if net is not None else None,
         )
         return RunResult(value=self._materialize(self.result), stats=stats)
 
@@ -238,10 +316,14 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _mu_enqueue(self, pe: PE, token) -> None:
+        if pe.halted:
+            return
         done = self._serve(pe, "mu_free", "MU", T.MATCH_TOKEN)
         self.schedule(done, self._mu_deliver, pe, token)
 
     def _mu_deliver(self, pe: PE, token) -> None:
+        if pe.halted:
+            return
         pe.stats.tokens_matched += 1
         if self.tracer is not None:
             self.tracer.record(self.now, pe.pid, "token-match", repr(token),
@@ -326,6 +408,8 @@ class Machine:
     def _deliver_waiter(self, waiter: ReturnAddress, value: Any,
                         cause: str = "net-queue",
                         src: int | None = None) -> None:
+        if self._halted and self.pes[waiter.pe].halted:
+            return
         if waiter.frame_uid == ROOT_UID:
             self.result = value
             if self._waits is not None:
@@ -357,7 +441,7 @@ class Machine:
 
     def _eu_step(self, pe: PE) -> None:
         pe.eu_scheduled = False
-        if pe.suspended_on is not None:
+        if pe.halted or pe.suspended_on is not None:
             return
         t = max(self.now, pe.eu_time)
         # Inside one EU step the local clock advances only by busy work
@@ -407,7 +491,14 @@ class Machine:
                     obs.span(pe.pid, "EU", t0, t)
                 return
 
-            t, frame = self._execute(pe, frame, t)
+            t2, frame = self._execute(pe, frame, t)
+            if pe.degrade != 1.0 and t2 > t:
+                # pe-degrade fault: the EU runs `degrade` times slower;
+                # the extra time is busy time (the unit is grinding).
+                extra = (t2 - t) * (pe.degrade - 1.0)
+                stats.busy["EU"] += extra
+                t2 += extra
+            t = t2
             if pe.suspended_on is not None:
                 pe.eu_time = t
                 if waits is not None and frame is not None:
@@ -740,6 +831,8 @@ class Machine:
         self._flush_batch(pe, dst_pid)
 
     def _flush_batch(self, pe: PE, dst_pid: int) -> None:
+        if pe.halted:
+            return
         batch = pe.batches.get(dst_pid)
         if not batch:
             return
@@ -764,6 +857,8 @@ class Machine:
     def _bcast_tokens(self, pe: PE, root: int, tokens: tuple) -> None:
         """Deliver a distributed-spawn token set locally and forward it
         down the spanning tree."""
+        if pe.halted:
+            return
         for token in tokens:
             pe.stats.tokens_sent_local += 1
             self._mu_enqueue(pe, token)
@@ -779,6 +874,11 @@ class Machine:
         self.schedule(done, self._transmit, pe, msg)
 
     def _transmit(self, pe: PE, msg) -> None:
+        if pe.halted:
+            return  # a crashed node sends nothing
+        if self._net is not None:
+            self._net_transmit(pe, msg)
+            return
         latency = T.message_latency(msg.wire_bytes,
                                     propagation_us=self.mc.avg_hops * 1.0)
         if self._rng is not None:
@@ -792,8 +892,187 @@ class Machine:
                                unit="RU")
         self.schedule(self.now + latency, self._deliver_msg, msg)
 
+    # -- reliable delivery + fault injection (repro.sim.reliable) --------
+
+    def _net_transmit(self, pe: PE, msg) -> None:
+        """Reliable path: assign a sequence number, send the first copy,
+        and arm the retransmit timer."""
+        seq = self._net.assign(pe.pid, msg.dst_pe, msg, self.now)
+        self._net_send_copy(pe, SeqMsg(seq, msg), retransmit=False)
+        self.schedule(self.now + self.config.retransmit_timeout_us,
+                      self._net_check, pe.pid, msg.dst_pe, seq)
+
+    def _net_send_copy(self, pe: PE, smsg: SeqMsg, retransmit: bool) -> None:
+        """Put one wire copy of a sequenced message into flight,
+        consulting the fault injector for its fate."""
+        net = self._net
+        msg = smsg.msg
+        latency = T.message_latency(smsg.wire_bytes,
+                                    propagation_us=self.mc.avg_hops * 1.0)
+        if self._rng is not None:
+            latency += self._rng.uniform(0.0, self.config.jitter_max_us)
+        pe.stats.messages_sent += 1
+        pe.stats.bytes_sent += smsg.wire_bytes
+        kind = _MSG_KIND[type(msg)]
+        dec = self._injector.decide(pe.pid, msg.dst_pe, kind)
+        if self.tracer is not None:
+            flags = " retransmit" if retransmit else ""
+            if dec.drop:
+                flags += " DROPPED"
+            if dec.dup:
+                flags += " duplicated"
+            if dec.extra_us:
+                flags += f" delayed+{dec.extra_us:.0f}us"
+            self.tracer.record(self.now, pe.pid, "message",
+                               f"{type(msg).__name__}[seq {smsg.seq}] -> "
+                               f"PE{msg.dst_pe} ({smsg.wire_bytes}B, "
+                               f"+{latency:.0f}us){flags}",
+                               unit="RU")
+        if retransmit:
+            net.stats.spans.append(
+                (pe.pid, self.now, self.now + latency,
+                 f"retransmit {kind} seq={smsg.seq} -> PE{msg.dst_pe}"))
+        if dec.drop:
+            net.stats.dropped += 1
+        else:
+            if dec.extra_us:
+                net.stats.delayed += 1
+            self.schedule(self.now + latency + dec.extra_us,
+                          self._deliver_msg, smsg)
+        if dec.dup:
+            net.stats.duplicated += 1
+            self.schedule(self.now + latency, self._deliver_msg, smsg)
+
+    def _net_retransmit(self, pe: PE, smsg: SeqMsg) -> None:
+        if pe.halted:
+            return
+        self._net_send_copy(pe, smsg, retransmit=True)
+
+    def _net_check(self, src: int, dst: int, seq: int) -> None:
+        """Retransmit timer: re-send an unacked message, within budget."""
+        net = self._net
+        ch = net.channels.get((src, dst))
+        if ch is None:
+            return
+        entry = ch.unacked.get(seq)
+        if entry is None:
+            return  # acked in time
+        if self.result is not _UNSET and not self.frames:
+            # The program already completed; stop healing a channel whose
+            # straggler can no longer matter (e.g. an ack racing a halt).
+            ch.unacked.pop(seq, None)
+            return
+        pe = self.pes[src]
+        if pe.halted:
+            return  # a dead sender cannot retransmit; drain diagnosis reports it
+        cfg = self.config
+        # The budget bounds consecutive unacked retries of one message —
+        # a head-of-line copy retried this often means a dead or
+        # partitioned receiver.  The channel's cumulative retransmit
+        # count is reported but never gates: many distinct healed losses
+        # on a busy channel are recovery, not livelock.
+        if entry[2] >= cfg.retransmit_budget:
+            if self.pes[dst].halted:
+                raise self._stuck_error(None, halted_pe=dst)
+            raise self._stuck_error(
+                f"channel PE{src}->PE{dst} exhausted its retransmit "
+                f"budget ({cfg.retransmit_budget}) on seq {seq}")
+        if self.now - self._last_progress_us > cfg.quiescence_us:
+            raise self._stuck_error(
+                f"no progress for {cfg.quiescence_us:g} us "
+                "(only retransmissions firing)")
+        ch.retransmits += 1
+        entry[2] += 1
+        net.stats.retransmits += 1
+        done = self._serve(pe, "ru_free", "RU", T.RU_MSG_COST)
+        self.schedule(done, self._net_retransmit, pe, SeqMsg(seq, entry[0]))
+        self.schedule(self.now + cfg.retransmit_timeout_us,
+                      self._net_check, src, dst, seq)
+
+    def _net_send_ack(self, pe: PE, dst: int, seq: int) -> None:
+        """Receipt for one copy; fire-and-forget (acks are never acked)."""
+        self._net.stats.acks_sent += 1
+        done = self._serve(pe, "ru_free", "RU", T.ACK_COST)
+        self.schedule(done, self._net_transmit_ack, pe,
+                      AckMsg(pe.pid, dst, seq))
+
+    def _net_transmit_ack(self, pe: PE, ack: AckMsg) -> None:
+        if pe.halted:
+            return
+        net = self._net
+        latency = T.message_latency(ack.wire_bytes,
+                                    propagation_us=self.mc.avg_hops * 1.0)
+        if self._rng is not None:
+            latency += self._rng.uniform(0.0, self.config.jitter_max_us)
+        pe.stats.messages_sent += 1
+        pe.stats.bytes_sent += ack.wire_bytes
+        dec = self._injector.decide(pe.pid, ack.dst_pe, "ack")
+        if dec.drop:
+            net.stats.dropped += 1
+        else:
+            if dec.extra_us:
+                net.stats.delayed += 1
+            self.schedule(self.now + latency + dec.extra_us,
+                          self._net_ack_receive, ack)
+        if dec.dup:
+            net.stats.duplicated += 1
+            self.schedule(self.now + latency, self._net_ack_receive, ack)
+
+    def _net_ack_receive(self, ack: AckMsg) -> None:
+        if self.pes[ack.dst_pe].halted:
+            self._net.stats.halt_lost += 1
+            return
+        # The ack flows receiver -> sender, so the data channel it
+        # retires is keyed (ack.dst_pe, ack.src_pe).
+        self._net.on_ack(ack.dst_pe, ack.src_pe, ack.seq)
+
+    # -- PE faults + progress guardrails ---------------------------------
+
+    def _pe_halt(self, pe: PE) -> None:
+        pe.halted = True
+        self._halted.append(pe.pid)
+        if self.tracer is not None:
+            self.tracer.record(self.now, pe.pid, "pe-halt",
+                               f"PE {pe.pid} halted (injected fault)")
+
+    def _pe_degrade(self, pe: PE, factor: float) -> None:
+        pe.degrade *= factor
+        if self.tracer is not None:
+            self.tracer.record(self.now, pe.pid, "pe-degrade",
+                               f"PE {pe.pid} degraded x{pe.degrade:g} "
+                               "(injected fault)")
+
+    def _stuck_error(self, why: str | None, halted_pe: int | None = None):
+        """Build the structured no-progress error for the current state."""
+        blocked: list[str] = []
+        for p in self.pes:
+            blocked.extend(p.describe_blocked())
+        channels = (self._net.describe_pending()
+                    if self._net is not None else [])
+        last = (self._last_progress_us
+                if self._net is not None else None)
+        if halted_pe is None and self._halted:
+            halted_pe = self._halted[0]
+        if halted_pe is not None:
+            return PEHaltError(halted_pe, blocked, channels, self.now, last)
+        return LivelockError(why or "no progress", blocked, channels,
+                             self.now, last)
+
     def _deliver_msg(self, msg) -> None:
+        if type(msg) is SeqMsg:
+            pe = self.pes[msg.dst_pe]
+            if pe.halted:
+                self._net.stats.halt_lost += 1
+                return
+            # Ack every copy we see: a lost ack is healed by the sender
+            # retransmitting and this branch re-acking the duplicate.
+            self._net_send_ack(pe, msg.src_pe, msg.seq)
+            if not self._net.on_deliver(msg.src_pe, msg.dst_pe, msg.seq):
+                return  # duplicate copy; already delivered once
+            msg = msg.msg
         pe = self.pes[msg.dst_pe]
+        if self._halted and pe.halted:
+            return
         if isinstance(msg, TokenBatchMsg):
             for token in msg.tokens:
                 self._mu_enqueue(pe, token)
@@ -818,6 +1097,8 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _am_alloc(self, pe: PE, dims: tuple, waiter: ReturnAddress) -> None:
+        if pe.halted:
+            return
         aid = self._next_array_id
         self._next_array_id += 1
         for d in dims:
@@ -836,7 +1117,7 @@ class Machine:
         self.schedule(done, self._install_header, pe, msg.array_id, msg.dims)
 
     def _install_header(self, pe: PE, aid: int, dims: tuple) -> None:
-        if aid in pe.headers:
+        if pe.halted or aid in pe.headers:
             return
         header = ArrayHeader(aid, tuple(dims), self.mc.page_size,
                              self.mc.num_pes)
@@ -856,6 +1137,8 @@ class Machine:
 
     def _am_read(self, pe: PE, aid: int, offset: int,
                  waiter: ReturnAddress) -> None:
+        if pe.halted:
+            return
         header = pe.headers[aid]
         if header.is_local(offset, pe.pid):
             pe.stats.array_reads_local += 1
@@ -912,6 +1195,8 @@ class Machine:
             self._resume_eu(pe)
 
     def _am_remote_read_request(self, pe: PE, msg: ReadRequestMsg) -> None:
+        if pe.halted:
+            return
         seg = pe.segments.get(msg.array_id)
         if seg is None:
             # The allocate broadcast has not reached this PE yet: retry
@@ -968,6 +1253,8 @@ class Machine:
 
     def _am_write(self, pe: PE, aid: int, offset: int, value: Any,
                   forwarded: bool = False, writer: int | None = None) -> None:
+        if pe.halted:
+            return
         header = pe.headers.get(aid)
         if header is None:
             self.schedule(self.now + T.ALLOC_ARRAY, self._am_write, pe, aid,

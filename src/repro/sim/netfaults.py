@@ -1,0 +1,214 @@
+"""Deterministic network/PE fault injection for the simulated machine.
+
+The paper's machine model assumes a perfectly reliable iPSC/2 network;
+this module breaks that assumption *on purpose* so the reliable-delivery
+protocol (:mod:`repro.sim.reliable`) and the progress guardrails have
+something to survive.  A plan is a spec string in the shared grammar of
+:mod:`repro.common.faultplan` (also read from the ``PODS_SIM_FAULTS``
+environment variable), with the simulator's action vocabulary:
+
+Message-level actions, applied at the ``_transmit`` boundary:
+
+* ``drop``    — the message copy is lost in flight (never delivered);
+* ``dup``     — the message is delivered twice;
+* ``delay``   — delivery is postponed by ``us`` microseconds;
+* ``reorder`` — like ``delay`` but defaulting to a lag long enough that
+  later messages on the channel overtake this one (two small-message
+  latencies).
+
+Message qualifiers: ``src=``/``dst=`` restrict to one sender/receiver PE
+(default: any), ``kind=`` to one message class (``token``, ``bcast``,
+``read``, ``page``, ``value``, ``write``, ``alloc``, ``ack``),
+``after=N`` skips the first N matching messages, ``count=K`` arms the
+fault for K matches (0 = unlimited), ``prob=P`` fires each armed match
+with probability P drawn from a ``seed``-keyed deterministic RNG — the
+whole plan is replayable: the same (program, args, config, plan) always
+injects the same faults.
+
+PE-level actions:
+
+* ``pe-halt:pe=K[,at=T]``      — PE K stops dead at sim time T (default
+  0): its units process nothing and every message addressed to it
+  vanishes, exactly like a crashed node;
+* ``pe-degrade:pe=K,factor=F[,at=T]`` — PE K runs F times slower from
+  time T on (all five units).
+
+Parsing is strict (``ValueError`` on anything malformed); plans are a
+test/chaos instrument, not production configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common import faultplan
+
+MESSAGE_ACTIONS = ("drop", "dup", "delay", "reorder")
+PE_ACTIONS = ("pe-halt", "pe-degrade")
+
+MESSAGE_KINDS = ("token", "bcast", "read", "page", "value", "write",
+                 "alloc", "ack")
+
+ANY = -1
+
+# Default extra latency: `delay` nudges, `reorder` overtakes (two small
+# Dunigan messages comfortably beat it through the wire).
+DELAY_DEFAULT_US = 400.0
+REORDER_DEFAULT_US = 800.0
+
+_SCHEMA = {
+    "src": int, "dst": int, "kind": str, "after": int, "count": int,
+    "us": float, "prob": float, "seed": int,
+    "pe": int, "at": float, "factor": float,
+}
+
+
+@dataclass(frozen=True)
+class NetFault:
+    """One clause of a simulator fault plan."""
+
+    action: str
+    # message-fault qualifiers
+    src: int = ANY
+    dst: int = ANY
+    kind: str = ""
+    after: int = 0
+    count: int = 1
+    us: float = 0.0
+    prob: float = 1.0
+    seed: int = 0
+    # pe-fault qualifiers
+    pe: int = ANY
+    at: float = 0.0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.action not in MESSAGE_ACTIONS + PE_ACTIONS:
+            raise ValueError(f"unknown sim fault action {self.action!r}")
+        if self.action in MESSAGE_ACTIONS:
+            if self.kind and self.kind not in MESSAGE_KINDS:
+                raise ValueError(f"unknown message kind {self.kind!r}")
+            if self.after < 0:
+                raise ValueError("fault after must be >= 0")
+            if self.count < 0:
+                raise ValueError("fault count must be >= 0")
+            if not 0.0 <= self.prob <= 1.0:
+                raise ValueError("fault prob must be in [0, 1]")
+            if self.us < 0:
+                raise ValueError("fault us must be >= 0")
+            if self.us == 0.0 and self.action in ("delay", "reorder"):
+                default = (DELAY_DEFAULT_US if self.action == "delay"
+                           else REORDER_DEFAULT_US)
+                object.__setattr__(self, "us", default)
+        else:
+            if self.pe < 0:
+                raise ValueError(f"{self.action} needs pe=<k>")
+            if self.at < 0:
+                raise ValueError("fault at must be >= 0")
+            if self.action == "pe-degrade" and self.factor <= 0:
+                raise ValueError("pe-degrade factor must be > 0")
+
+    def matches(self, src: int, dst: int, kind: str) -> bool:
+        return ((self.src == ANY or self.src == src)
+                and (self.dst == ANY or self.dst == dst)
+                and (not self.kind or self.kind == kind))
+
+
+@dataclass(frozen=True)
+class SimFaultPlan:
+    """A parsed set of simulator faults (empty = reliable network)."""
+
+    faults: tuple[NetFault, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def message_faults(self) -> tuple[NetFault, ...]:
+        return tuple(f for f in self.faults
+                     if f.action in MESSAGE_ACTIONS)
+
+    def pe_faults(self) -> tuple[NetFault, ...]:
+        return tuple(f for f in self.faults if f.action in PE_ACTIONS)
+
+    @staticmethod
+    def parse(spec: str | None) -> "SimFaultPlan":
+        """Parse the shared ``action:key=value,...;...`` grammar."""
+        if not spec or not spec.strip():
+            return SimFaultPlan()
+        faults = []
+        for action, argstr in faultplan.split_clauses(spec):
+            clause = f"{action}:{argstr}" if argstr else action
+            kwargs = faultplan.parse_clause_args(argstr, _SCHEMA, clause)
+            faults.append(NetFault(action=action, **kwargs))
+        return SimFaultPlan(tuple(faults))
+
+    @staticmethod
+    def from_env() -> "SimFaultPlan":
+        return SimFaultPlan.parse(
+            faultplan.spec_from_env(faultplan.SIM_ENV_VAR))
+
+
+def resolve_sim_plan(faults) -> SimFaultPlan:
+    """Coerce ``None`` / spec string / plan into a :class:`SimFaultPlan`.
+
+    ``None`` defers to ``PODS_SIM_FAULTS`` (kept distinct from the
+    parallel backend's ``PODS_FAULTS`` so one chaos soak cannot poison
+    the other backend's runs with a dialect it does not speak).
+    """
+    if faults is None:
+        return SimFaultPlan.from_env()
+    if isinstance(faults, SimFaultPlan):
+        return faults
+    if isinstance(faults, str):
+        return SimFaultPlan.parse(faults)
+    raise ValueError(
+        f"cannot build a SimFaultPlan from {type(faults).__name__}")
+
+
+@dataclass
+class FaultDecision:
+    """What the injector wants done with one transmitted message."""
+
+    drop: bool = False
+    dup: bool = False
+    extra_us: float = 0.0
+
+
+class NetFaultInjector:
+    """Applies a plan's message faults at the transmit boundary.
+
+    Deterministic and replayable: per-clause match counters drive the
+    ``after``/``count`` windows, and ``prob`` draws come from one
+    ``random.Random`` seeded by the clause's ``seed`` and position, so
+    identical plans inject identically on identical traffic.
+    """
+
+    def __init__(self, plan: SimFaultPlan) -> None:
+        self._clauses = list(plan.message_faults())
+        self._matched = [0] * len(self._clauses)
+        self._fired = [0] * len(self._clauses)
+        self._rngs = [random.Random((f.seed << 16) ^ i)
+                      for i, f in enumerate(self._clauses)]
+
+    def decide(self, src: int, dst: int, kind: str) -> FaultDecision:
+        decision = FaultDecision()
+        for i, f in enumerate(self._clauses):
+            if not f.matches(src, dst, kind):
+                continue
+            seq = self._matched[i]
+            self._matched[i] = seq + 1
+            if seq < f.after:
+                continue
+            if f.count and self._fired[i] >= f.count:
+                continue
+            if f.prob < 1.0 and self._rngs[i].random() >= f.prob:
+                continue
+            self._fired[i] += 1
+            if f.action == "drop":
+                decision.drop = True
+            elif f.action == "dup":
+                decision.dup = True
+            else:  # delay / reorder
+                decision.extra_us += f.us
+        return decision

@@ -29,6 +29,12 @@ class PE:
     eu_scheduled: bool = False     # an _eu_step event is pending
     suspended_on: tuple | None = None  # (frame_uid, slot) in blocking-read mode
 
+    # Injected PE faults (repro.sim.netfaults): a halted PE's units
+    # process nothing and messages addressed to it vanish; a degraded
+    # PE's unit service times are multiplied by ``degrade``.
+    halted: bool = False
+    degrade: float = 1.0
+
     # serial units (server model: next time the unit is free)
     mu_free: float = 0.0
     mm_free: float = 0.0

@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # no runtime dependency on repro.obs
     from repro.obs.registry import MetricsRegistry
     from repro.obs.timeline import TimelineStore
     from repro.obs.waits import WaitStore
+    from repro.sim.reliable import NetStats
 
 UNITS = ("EU", "MU", "RU", "AM", "MM")
 
@@ -67,6 +68,9 @@ class RunStats:
     timelines: "TimelineStore | None" = None
     registry: "MetricsRegistry | None" = None
     waits: "WaitStore | None" = None
+    # Reliable-delivery counters; None unless the fault-tolerant network
+    # layer was armed (see repro.sim.reliable).
+    netstats: "NetStats | None" = None
 
     # -- utilizations ---------------------------------------------------
 
@@ -164,4 +168,6 @@ class RunStats:
             f"frames: {self.total('frames_created')} "
             f"(peak live on one PE: {self.max_live_frames})",
         ]
+        if self.netstats is not None and self.netstats.any_faults():
+            lines.append(self.netstats.table())
         return "\n".join(lines)

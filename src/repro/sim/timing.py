@@ -108,6 +108,9 @@ def am_allocate() -> float:
 
 TOKEN_BATCH_COST = 19.5      # per token added to a batch (390/20)
 RU_MSG_COST = 30.0           # form/dispatch one array message (choice)
+ACK_COST = 5.0               # form one reliable-delivery ack (choice):
+                             # a 16-byte fixed-format receipt is far
+                             # cheaper than a full array message
 FLUSH_DELAY = 100.0          # max time a partial batch waits (choice)
 NET_PROPAGATION = 2.5        # 2.5 hops at ~1 us each
 

@@ -1,0 +1,51 @@
+"""The committed bench baseline must not shift while faults are off.
+
+The reliable-delivery layer (:mod:`repro.sim.reliable`) claims to be
+zero-cost when disabled; the fig10-style speed-up comparator in
+``benchmarks/baselines/BENCH_simple_smoke.json`` is the long-lived
+record that claim is checked against.  This test re-runs the baseline's
+exact configuration and requires the modeled times to match to the
+float: if a change legitimately shifts modeled time, re-emit the
+baseline deliberately (``python -m repro.bench.harness --json`` + copy)
+rather than letting it drift.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps.simple_app import compile_simple
+from repro.bench.harness import Sweeper
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "baselines",
+                        "BENCH_simple_smoke.json")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE) as fh:
+        return json.load(fh)
+
+
+def test_modeled_times_match_committed_baseline(baseline):
+    cfg = baseline["config"]
+    assert cfg["app"] == "simple"
+    program = compile_simple(conduction_only=cfg["conduction_only"])
+    sweeper = Sweeper()
+    args = (cfg["size"], cfg["steps"])
+    for point in baseline["points"]:
+        got = sweeper.run(program, args, point["pes"])
+        assert got.time_us == point["time_us"], (
+            f"{point['label']}: modeled time shifted "
+            f"({got.time_us!r} != baseline {point['time_us']!r}) — "
+            "faults-off runs must stay byte-identical; re-emit the "
+            "baseline only for a deliberate model change")
+
+
+def test_speedup_ratios_match(baseline):
+    points = {p["pes"]: p for p in baseline["points"]}
+    base = points[1]["time_us"]
+    for pes, p in points.items():
+        assert p["speedup"] == pytest.approx(base / p["time_us"])

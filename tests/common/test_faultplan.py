@@ -1,0 +1,107 @@
+"""The shared fault-plan grammar (clause syntax + env handling).
+
+One dialect-neutral spec syntax (``action:key=value,...;...``) is parsed
+by :mod:`repro.common.faultplan` and consumed by *both* chaos backends —
+the real-parallel process faults (:mod:`repro.parallel.faults`) and the
+simulated network faults (:mod:`repro.sim.netfaults`).  These tests pin
+the grammar itself plus the guarantee that the two dialects stay
+syntax-compatible and keep their environment variables distinct.
+"""
+
+import pytest
+
+from repro.common import faultplan
+from repro.parallel.faults import Fault, FaultPlan, resolve_plan
+from repro.sim.netfaults import SimFaultPlan, resolve_sim_plan
+
+
+class TestSplitClauses:
+    def test_single_clause(self):
+        assert faultplan.split_clauses("kill:worker=1") == [
+            ("kill", "worker=1")]
+
+    def test_multiple_clauses(self):
+        got = faultplan.split_clauses("drop:kind=page;dup:count=2")
+        assert got == [("drop", "kind=page"), ("dup", "count=2")]
+
+    def test_bare_action_has_empty_argstr(self):
+        assert faultplan.split_clauses("dup") == [("dup", "")]
+
+    def test_stray_semicolons_and_whitespace_dropped(self):
+        got = faultplan.split_clauses(" ;drop:kind=page ; ; dup ;")
+        assert got == [("drop", "kind=page"), ("dup", "")]
+
+
+class TestParseClauseArgs:
+    SCHEMA = {"worker": int, "seconds": float, "on": str}
+
+    def test_coercions(self):
+        got = faultplan.parse_clause_args(
+            "worker=2,seconds=1.5,on=iter", self.SCHEMA)
+        assert got == {"worker": 2, "seconds": 1.5, "on": "iter"}
+
+    def test_empty_argstr(self):
+        assert faultplan.parse_clause_args("", self.SCHEMA) == {}
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            faultplan.parse_clause_args("bogus=1", self.SCHEMA)
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="bad fault argument"):
+            faultplan.parse_clause_args("worker", self.SCHEMA, "kill:worker")
+
+    def test_bad_value_names_clause(self):
+        with pytest.raises(ValueError, match="kill:worker=x"):
+            faultplan.parse_clause_args("worker=x", self.SCHEMA,
+                                        "kill:worker=x")
+
+
+class TestEnvHandling:
+    def test_distinct_variables(self):
+        # One chaos soak must not poison the other backend's runs.
+        assert faultplan.PARALLEL_ENV_VAR != faultplan.SIM_ENV_VAR
+
+    def test_spec_from_env(self, monkeypatch):
+        monkeypatch.delenv(faultplan.SIM_ENV_VAR, raising=False)
+        assert faultplan.spec_from_env(faultplan.SIM_ENV_VAR) is None
+        monkeypatch.setenv(faultplan.SIM_ENV_VAR, "drop:count=1")
+        assert faultplan.spec_from_env(faultplan.SIM_ENV_VAR) == \
+            "drop:count=1"
+
+    def test_parallel_resolve_reads_pods_faults(self, monkeypatch):
+        monkeypatch.setenv(faultplan.PARALLEL_ENV_VAR, "kill:worker=1")
+        monkeypatch.delenv(faultplan.SIM_ENV_VAR, raising=False)
+        plan = resolve_plan(None)
+        assert plan.faults == (Fault(action="kill", worker=1),)
+        # The sim dialect does not see the parallel variable.
+        assert not resolve_sim_plan(None)
+
+    def test_sim_resolve_reads_pods_sim_faults(self, monkeypatch):
+        monkeypatch.setenv(faultplan.SIM_ENV_VAR, "drop:kind=page")
+        monkeypatch.delenv(faultplan.PARALLEL_ENV_VAR, raising=False)
+        plan = resolve_sim_plan(None)
+        assert [f.action for f in plan.faults] == ["drop"]
+        assert not resolve_plan(None)
+
+
+class TestDialectsShareSyntax:
+    """The same spec shapes parse on both sides (vocabulary differs)."""
+
+    def test_both_accept_multi_clause_specs(self):
+        par = FaultPlan.parse("kill:worker=1,after=3;hang:worker=0")
+        sim = SimFaultPlan.parse("drop:kind=page,after=3;dup:src=0")
+        assert len(par.faults) == 2
+        assert len(sim.faults) == 2
+
+    def test_both_reject_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            FaultPlan.parse("kill:worker=1,kind=page")
+        with pytest.raises(ValueError, match="unknown fault key"):
+            SimFaultPlan.parse("drop:worker=1")
+
+    def test_empty_specs_mean_no_faults(self):
+        assert not FaultPlan.parse(None)
+        assert not FaultPlan.parse("  ")
+        assert not SimFaultPlan.parse(None)
+        assert not SimFaultPlan.parse("  ")

@@ -1,0 +1,142 @@
+"""Church-Rosser under chaos: fault plans never change the answer.
+
+Single assignment makes every execution order confluent, and the
+reliable-delivery layer (:mod:`repro.sim.reliable`) extends that to
+*unreliable* orders: any seeded plan of reorder/duplicate/delay faults —
+and any drop plan the retransmit budget can absorb — must yield results
+bit-identical to the fault-free run, with identical semantic ``array.*``
+metrics.  Only modeled time is allowed to move.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import compile_source
+from repro.apps.matmul import compile_matmul
+from repro.common.config import MachineConfig, ObsConfig, SimConfig
+
+ROW_SWEEP = """
+function main(n) {
+    B = matrix(n, n);
+    for j = 1 to n { B[1, j] = 1.0 * j; }
+    for i = 2 to n {
+        for j = 1 to n { B[i, j] = B[i - 1, j] * 0.5 + 1.0; }
+    }
+    s = 0.0;
+    for j = 1 to n { next s = s + B[n, j]; }
+    return s;
+}
+"""
+
+# (program, args) pairs the properties quantify over; compiled (and the
+# fault-free reference computed) once per process.
+_CASES: dict[str, tuple] = {}
+
+# Semantic registry rows: counts of program facts, invariant under any
+# healed chaos.  array.deferred_reads is timing-dependent (a read
+# arriving before vs after its write) and deliberately excluded.
+SEMANTIC_METRICS = ("array.element_reads", "array.element_writes",
+                    "array.write_forwards", "array.pages_touched",
+                    "rf.subrange", "rf.items")
+
+# Message kinds that actually occur in these programs at 2 PEs, so
+# generated clauses exercise real traffic (an unmatched clause is a
+# vacuous no-op).
+KINDS = ("", "bcast", "read", "page", "value", "alloc", "ack")
+
+
+def _case(name):
+    if name not in _CASES:
+        if name == "row-sweep":
+            program, args = compile_source(ROW_SWEEP), (6,)
+        else:
+            program, args = compile_matmul(checksum=True), (4,)
+        clean = program.run_pods(args, config=_config())
+        _CASES[name] = (program, args, clean.value,
+                        _semantic_rows(clean.stats.registry))
+    return _CASES[name]
+
+
+def _config(faults=None, **kw):
+    return SimConfig(machine=MachineConfig(num_pes=2),
+                     obs=ObsConfig(metrics=True), faults=faults, **kw)
+
+
+def _semantic_rows(registry):
+    return [line for line in registry.to_jsonl().splitlines()
+            if json.loads(line)["name"] in SEMANTIC_METRICS]
+
+
+def _clause(action, kind, after, count, us, seed):
+    parts = [f"after={after}", f"count={count}", f"seed={seed}"]
+    if kind:
+        parts.append(f"kind={kind}")
+    if us and action in ("delay", "reorder"):
+        parts.append(f"us={us:g}")
+    return f"{action}:" + ",".join(parts)
+
+
+# One generated fault clause: strategy tuples -> spec text.
+_benign_clauses = st.lists(
+    st.tuples(st.sampled_from(["dup", "delay", "reorder"]),
+              st.sampled_from(KINDS),
+              st.integers(0, 5),        # after
+              st.integers(0, 4),        # count (0 = unlimited)
+              st.sampled_from([0, 50, 400, 1200]),   # us
+              st.integers(0, 2 ** 16)),              # seed
+    min_size=1, max_size=4)
+
+_drop_clauses = st.lists(
+    st.tuples(st.sampled_from(KINDS),
+              st.integers(0, 3),        # after
+              st.integers(1, 3),        # count: bounded, budget absorbs
+              st.integers(0, 2 ** 16)),
+    min_size=1, max_size=2)
+
+
+def _assert_confluent(name, spec, **cfg_kw):
+    program, args, want_value, want_rows = _case(name)
+    res = program.run_pods(args, config=_config(faults=spec, **cfg_kw))
+    assert res.value == want_value, spec
+    assert _semantic_rows(res.stats.registry) == want_rows, spec
+
+
+@settings(max_examples=25, deadline=None)
+@given(clauses=_benign_clauses)
+def test_row_sweep_confluent_under_reorder_dup_delay(clauses):
+    spec = ";".join(_clause(*c) for c in clauses)
+    _assert_confluent("row-sweep", spec)
+
+
+@settings(max_examples=12, deadline=None)
+@given(clauses=_benign_clauses)
+def test_matmul_confluent_under_reorder_dup_delay(clauses):
+    spec = ";".join(_clause(*c) for c in clauses)
+    _assert_confluent("matmul", spec)
+
+
+@settings(max_examples=20, deadline=None)
+@given(clauses=_drop_clauses, prob=st.sampled_from([1.0, 0.5]))
+def test_drop_plans_heal_within_retransmit_budget(clauses, prob):
+    spec = ";".join(
+        f"drop:kind={kind},after={after},count={count},"
+        f"prob={prob},seed={seed}" if kind else
+        f"drop:after={after},count={count},prob={prob},seed={seed}"
+        for kind, after, count, seed in clauses)
+    # A fast timer so every drop heals inside the run; each clause loses
+    # at most `count` copies per channel, well inside the budget of 8.
+    _assert_confluent("row-sweep", spec, retransmit_timeout_us=800.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(clauses=_benign_clauses)
+def test_chaos_runs_are_replayable(clauses):
+    spec = ";".join(_clause(*c) for c in clauses)
+    program, args, _, _ = _case("row-sweep")
+    runs = [program.run_pods(args, config=_config(faults=spec))
+            for _ in range(2)]
+    assert (runs[0].stats.finish_time_us == runs[1].stats.finish_time_us)
+    assert (runs[0].stats.registry.to_jsonl()
+            == runs[1].stats.registry.to_jsonl())
