@@ -6,6 +6,8 @@ idle"."""
 
 from __future__ import annotations
 
+import time
+
 from conftest import PE_GRID, SIMPLE_STEPS, pe_grid, simple_args
 
 from repro.bench import trajectory
@@ -16,6 +18,7 @@ SIZES = [16, 32, 64]
 
 
 def test_fig9_eu_utilization(benchmark, obs_sweeper, simple_program):
+    t0 = time.perf_counter()
     util: dict[int, dict[int, float]] = {}
     for n in SIZES:
         util[n] = {}
@@ -28,6 +31,7 @@ def test_fig9_eu_utilization(benchmark, obs_sweeper, simple_program):
             ref = point.extras["utilization_aggregate"]["EU"]
             assert abs(util[n][pes] - ref) <= max(abs(ref), 1e-12) * 1e-3, (
                 f"EU at {n}x{n}/{pes} PEs: {util[n][pes]} vs {ref}")
+    wall_s = time.perf_counter() - t0
 
     rows = []
     for pes in PE_GRID:
@@ -61,7 +65,8 @@ def test_fig9_eu_utilization(benchmark, obs_sweeper, simple_program):
         "fig09_eu_utilization",
         {"app": "simple", "steps": SIMPLE_STEPS,
          "full_scale": FULL_SCALE},
-        points_json))
+        points_json,
+        wall_s=round(wall_s, 3)))
 
     # Shape assertions from the paper:
     # (1) utilization falls as PEs grow, for every size;

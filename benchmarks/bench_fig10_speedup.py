@@ -7,6 +7,8 @@ approach ... when the problem size was sufficiently large"."""
 
 from __future__ import annotations
 
+import time
+
 from conftest import PE_GRID, SIMPLE_STEPS, pe_grid, simple_args
 
 from repro.bench import trajectory
@@ -17,6 +19,7 @@ SIZES = [16, 32, 64]
 
 
 def test_fig10_speedup(benchmark, sweeper, simple_program):
+    t0 = time.perf_counter()
     speedup: dict[int, dict[int, float]] = {}
     for n in SIZES:
         base = sweeper.run(simple_program, simple_args(n), 1, key="simple")
@@ -37,6 +40,10 @@ def test_fig10_speedup(benchmark, sweeper, simple_program):
             continue
         st = simple_program.run_static(simple_args(64), num_pes=pes)
         pr64[pes] = base_pr.time_us / st.time_us
+    # Host wall clock of the sweep itself (informational in the
+    # trajectory doc; memoized points make later figures look free, so
+    # only the first module to run a configuration pays for it here).
+    wall_s = time.perf_counter() - t0
 
     rows = []
     for pes in PE_GRID:
@@ -72,7 +79,8 @@ def test_fig10_speedup(benchmark, sweeper, simple_program):
         "fig10_speedup",
         {"app": "simple", "steps": SIMPLE_STEPS,
          "full_scale": FULL_SCALE},
-        points_json))
+        points_json,
+        wall_s=round(wall_s, 3)))
 
     top16 = max(speedup[16].values())
     top32 = max(speedup[32].values())

@@ -41,6 +41,7 @@ CLI (used by the CI bench-smoke job)::
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 
@@ -106,6 +107,19 @@ def load(path: str) -> dict:
 # ---------------------------------------------------------------------
 
 
+def _is_number(v) -> bool:
+    """True for finite ints/floats; False for bool, NaN and infinities.
+
+    ``isinstance(True, int)`` holds in Python, and ``json.load`` happily
+    round-trips ``NaN``/``Infinity`` — both used to slip through the
+    numeric field checks and then poison the comparator's relative
+    deltas (NaN compares false against every tolerance, so a regression
+    could hide behind it).
+    """
+    return (isinstance(v, (int, float)) and not isinstance(v, bool)
+            and math.isfinite(v))
+
+
 def validate(doc) -> list[str]:
     """Structural check; returns a list of problems (empty = valid)."""
     problems: list[str] = []
@@ -121,8 +135,8 @@ def validate(doc) -> list[str]:
         for k, v in doc["config"].items():
             if not isinstance(v, (int, float, str, bool, type(None))):
                 problems.append(f"config[{k!r}] must be a scalar")
-    if "wall_s" in doc and not isinstance(doc["wall_s"], (int, float)):
-        problems.append("'wall_s' must be a number")
+    if "wall_s" in doc and not _is_number(doc["wall_s"]):
+        problems.append("'wall_s' must be a finite number")
     points = doc.get("points")
     if not isinstance(points, list) or not points:
         problems.append("'points' must be a non-empty array")
@@ -140,19 +154,21 @@ def validate(doc) -> list[str]:
             problems.append(f"{where}: duplicate label {label!r}")
         else:
             seen.add(label)
-        if not isinstance(pt.get("pes"), int) or pt.get("pes", 0) < 1:
+        pes = pt.get("pes")
+        if (not isinstance(pes, int) or isinstance(pes, bool)
+                or pes < 1):
             problems.append(f"{where}: 'pes' must be a positive integer")
-        if not isinstance(pt.get("time_us"), (int, float)):
-            problems.append(f"{where}: 'time_us' must be a number")
+        if not _is_number(pt.get("time_us")):
+            problems.append(f"{where}: 'time_us' must be a finite number")
         for opt in _TIME_FIELDS + _RATE_FIELDS + ("events",):
-            if opt in pt and not isinstance(pt[opt], (int, float)):
-                problems.append(f"{where}: {opt!r} must be a number")
+            if opt in pt and not _is_number(pt[opt]):
+                problems.append(f"{where}: {opt!r} must be a finite number")
         if "utilization" in pt:
             util = pt["utilization"]
             if not isinstance(util, dict) or any(
-                    not isinstance(v, (int, float)) for v in util.values()):
+                    not _is_number(v) for v in util.values()):
                 problems.append(f"{where}: 'utilization' must map unit "
-                                "-> number")
+                                "-> finite number")
     return problems
 
 
@@ -236,7 +252,7 @@ def compare(prev: dict, cur: dict, rtol: float = 0.02) -> Comparison:
             elif delta > rtol:
                 cmp.improvements.append(msg)
     wall_delta = _rel_delta(prev.get("wall_s"), cur.get("wall_s"))
-    if wall_delta is not None and abs(wall_delta) > rtol:
+    if wall_delta is not None:
         cmp.notes.append(
             f"wall_s {prev['wall_s']:.2f} -> {cur['wall_s']:.2f} "
             f"({wall_delta * 100:+.1f}%) - host-dependent, never gates")
@@ -244,7 +260,7 @@ def compare(prev: dict, cur: dict, rtol: float = 0.02) -> Comparison:
 
 
 def _rel_delta(a, b) -> float | None:
-    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+    if not _is_number(a) or not _is_number(b):
         return None
     if a == 0:
         return None

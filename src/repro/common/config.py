@@ -237,6 +237,14 @@ class SimConfig:
         quiescence_us: Livelock/partition detector window: when nothing
             but retransmissions has happened for this much modeled time,
             the run aborts with the appropriate structured error.
+        fast_path: Use the table-driven interpreter
+            (:mod:`repro.sim.decode`): SP templates are compiled to
+            per-instruction closures at machine construction and
+            same-timestamp events are batched in the engine.  The fast
+            path is bit-identical to the reference interpreter (modeled
+            times, metrics, traces, error text); disable it to
+            cross-check, or set ``PODS_SIM_REFERENCE=1`` in the
+            environment to force the reference path globally.
     """
 
     machine: MachineConfig = field(default_factory=MachineConfig)
@@ -251,6 +259,7 @@ class SimConfig:
     retransmit_timeout_us: float = 5_000.0
     retransmit_budget: int = 8
     quiescence_us: float = 50_000.0
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.max_events < 1:

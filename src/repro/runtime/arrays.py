@@ -18,6 +18,7 @@ Flat offsets are 0-based.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.common.errors import BoundsViolation, PartitionError
 
@@ -102,30 +103,40 @@ class ArrayHeader:
             raise PartitionError("arrays need at least one dimension")
         if any(d < 1 for d in self.dims):
             raise PartitionError(f"non-positive dimension in {self.dims}")
+        # Per-PE segment_bounds cache (header geometry is immutable;
+        # the frozen dataclass requires the object.__setattr__ detour).
+        object.__setattr__(self, "_seg_bounds", {})
 
     # -- geometry -----------------------------------------------------
+    #
+    # All geometry is a pure function of the frozen fields, so it is
+    # computed once and cached (cached_property stores into __dict__,
+    # which bypasses the frozen __setattr__).  The simulator hits
+    # offset()/segment_bounds() on every array access — recomputing
+    # strides and page counts per element dominated its profile.
 
-    @property
+    @cached_property
     def total_elements(self) -> int:
         return flat_size(self.dims)
 
-    @property
+    @cached_property
     def pages(self) -> int:
         return num_pages(self.total_elements, self.page_size)
 
-    @property
+    @cached_property
     def strides(self) -> tuple[int, ...]:
         return row_strides(self.dims)
 
     def offset(self, indices: tuple[int, ...]) -> int:
         """Row-major flat offset of a 1-based index tuple (bounds-checked)."""
-        if len(indices) != len(self.dims):
-            raise BoundsViolation(self.array_id, indices, self.dims)
+        dims = self.dims
+        if len(indices) != len(dims):
+            raise BoundsViolation(self.array_id, indices, dims)
         off = 0
-        for idx, dim, stride in zip(indices, self.dims, self.strides):
+        for idx, dim, stride in zip(indices, dims, self.strides):
             if (not isinstance(idx, int) or isinstance(idx, bool)
                     or idx < 1 or idx > dim):
-                raise BoundsViolation(self.array_id, indices, self.dims)
+                raise BoundsViolation(self.array_id, indices, dims)
             off += (idx - 1) * stride
         return off
 
@@ -157,12 +168,16 @@ class ArrayHeader:
         ``hi`` is clipped to the array size because the final page may be
         partial.
         """
-        page_lo, page_hi = segment_page_range(pe, self.pages, self.num_pes)
-        lo = page_lo * self.page_size
-        hi = min(page_hi * self.page_size, self.total_elements)
-        if lo > hi:
-            lo = hi
-        return lo, hi
+        bounds = self._seg_bounds.get(pe)
+        if bounds is None:
+            page_lo, page_hi = segment_page_range(pe, self.pages,
+                                                  self.num_pes)
+            lo = page_lo * self.page_size
+            hi = min(page_hi * self.page_size, self.total_elements)
+            if lo > hi:
+                lo = hi
+            bounds = self._seg_bounds[pe] = (lo, hi)
+        return bounds
 
     def is_local(self, offset: int, pe: int) -> bool:
         lo, hi = self.segment_bounds(pe)

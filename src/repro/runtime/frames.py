@@ -42,7 +42,8 @@ class Frame:
 
     __slots__ = (
         "uid", "block_id", "ctx", "pe", "pc", "status",
-        "waiting_slot", "waiting_header", "_slots", "_spawn_seq",
+        "waiting_slot", "waiting_header", "_slots", "present_mask",
+        "code", "_spawn_seq",
         "name", "inputs_expected", "inputs_received",
         "outstanding_children", "budget_blocked",
     )
@@ -59,6 +60,15 @@ class Frame:
         self.waiting_slot: int | None = None
         self.waiting_header: int | None = None
         self._slots: list[Any] = [_ABSENT] * num_slots
+        # Presence bitmask: bit i set <=> slot i holds a value.  Kept in
+        # lock-step with the ABSENT sentinel by put()/clear(); the
+        # table-driven fast path (repro.sim.decode) tests operand
+        # presence with one mask op instead of a sentinel compare per
+        # operand.
+        self.present_mask = 0
+        # Decoded handler table for this frame's template (set by the
+        # machine when the fast path is on; None on the reference path).
+        self.code = None
         self._spawn_seq = 0
         self.name = name
         # An SP may terminate before every input token has arrived (e.g.
@@ -96,10 +106,12 @@ class Frame:
         is blocked on (the caller should move the frame to the ready
         queue)."""
         self._slots[index] = value
+        self.present_mask |= 1 << index
         return self.status == BLOCKED and self.waiting_slot == index
 
     def clear(self, index: int) -> None:
         self._slots[index] = _ABSENT
+        self.present_mask &= ~(1 << index)
 
     # -- scheduling ----------------------------------------------------
 

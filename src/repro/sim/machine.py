@@ -29,7 +29,9 @@ granularity.
 
 from __future__ import annotations
 
+import os
 import random
+from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Any
@@ -110,14 +112,33 @@ class Machine:
         self.late_tokens = 0
         self.events_processed = 0
 
+        # Calendar-batched event queue: the heap holds one entry per
+        # *distinct* timestamp; the events themselves live in per-time
+        # lists (schedule order == the old monotonic-sequence tie-break)
+        # and same-timestamp events drain through ``_batch`` with a
+        # single heap pop.
         self._queue: list = []
-        self._seq = 0
+        self._pending: dict = {}
+        self._batch: deque = deque()
         self._next_frame_uid = ROOT_UID + 1
         self._next_array_id = 1
         self._code = {bid: t.code for bid, t in program.templates.items()}
         self._inputs = {bid: t.inputs for bid, t in program.templates.items()}
         self._is_function = {bid: t.kind == "function"
                              for bid, t in program.templates.items()}
+        # Table-driven fast path (repro.sim.decode): dispatch tables are
+        # compiled once per machine; None selects the reference
+        # interpreter (SimConfig.fast_path=False or PODS_SIM_REFERENCE
+        # in the environment).
+        self._dcode = None
+        if self.config.fast_path and not os.environ.get("PODS_SIM_REFERENCE"):
+            from repro.sim.decode import decode_program
+
+            self._dcode = decode_program(program)
+            # Shadow the class method with one stable bound method: every
+            # scheduling site (`self._eu_step`) resolves to the fast twin
+            # without a per-call descriptor lookup.
+            self._eu_step = self._eu_step_fast
         self._spawn_rr = 0
         self.max_live_frames = 0
         self._rng = (random.Random(self.config.jitter_seed)
@@ -142,6 +163,32 @@ class Machine:
                                    waits=obs_cfg.waits)
         # Wait-state hooks check this one attribute on the hot path.
         self._waits = self.obs.waits if self.obs is not None else None
+        # Busy-span hook: None when no timelines are recorded (so a
+        # metrics-only run pays one identity check instead of a no-op
+        # call per span), else a dispatcher that caches the bound
+        # UnitTimeline.add per (pe, unit) — the equivalent of
+        # obs.span -> TimelineStore.span -> UnitTimeline.add with the
+        # two indirection layers peeled off the hot path.
+        self._span = None
+        if self.obs is not None and self.obs.timelines is not None:
+            store = self.obs.timelines
+            lines = store._lines
+            span_limit = store.span_limit
+            adds: dict = {}
+
+            def _span(pid, unit, start, end):
+                key = (pid, unit)
+                add = adds.get(key)
+                if add is None:
+                    from repro.obs.timeline import UnitTimeline
+
+                    line = lines.get(key)
+                    if line is None:
+                        line = lines[key] = UnitTimeline(span_limit)
+                    adds[key] = add = line.add
+                add(start, end)
+
+            self._span = _span
 
         # Network fault model + reliable delivery (repro.sim.netfaults /
         # repro.sim.reliable).  Everything stays None on the default
@@ -180,8 +227,16 @@ class Machine:
     # ------------------------------------------------------------------
 
     def schedule(self, time: float, fn, *args) -> None:
-        self._seq += 1
-        heappush(self._queue, (time, self._seq, fn, args))
+        # One heap entry per distinct timestamp; events at the same time
+        # keep schedule order in the per-time list, which is exactly the
+        # total order the old (time, seq) tuples produced.
+        pending = self._pending
+        lst = pending.get(time)
+        if lst is None:
+            pending[time] = [(fn, args)]
+            heappush(self._queue, time)
+        else:
+            lst.append((fn, args))
 
     def _serve(self, pe: PE, unit_attr: str, unit: str, cost: float) -> float:
         """Sequential-server model: occupy the unit for ``cost`` us."""
@@ -191,8 +246,8 @@ class Machine:
         done = start + cost
         setattr(pe, unit_attr, done)
         pe.stats.busy[unit] += cost
-        if self.obs is not None:
-            self.obs.span(pe.pid, unit, start, done)
+        if self._span is not None:
+            self._span(pe.pid, unit, start, done)
         return done
 
     # ------------------------------------------------------------------
@@ -208,6 +263,8 @@ class Machine:
         self._spawn_entry(args)
 
         queue = self._queue
+        pending = self._pending
+        batch = self._batch
         limit = self.config.max_events
         wall = self.config.max_sim_time_us
         net = self._net
@@ -218,23 +275,42 @@ class Machine:
         # quiescence detector could never fire.
         maintenance = ((self._net_check, self._net_transmit_ack,
                         self._net_ack_receive) if net is not None else ())
-        while queue:
-            self.now, _, fn, fargs = heappop(queue)
-            self.events_processed += 1
-            if self.events_processed > limit:
-                raise ExecutionError(
-                    f"event limit {limit} exceeded at t={self.now:.1f} us "
-                    "(runaway program?)"
-                )
-            if wall is not None and self.now > wall:
-                if self.result is _UNSET or self.frames:
-                    raise self._stuck_error(
-                        f"simulated time crossed max_sim_time_us="
-                        f"{wall:g} us")
-                break  # complete; abandon trailing housekeeping
-            if net is not None and fn not in maintenance:
-                self._finish_us = self._last_progress_us = self.now
-            fn(*fargs)
+        events = self.events_processed
+        pop_batch = batch.popleft
+        try:
+            while True:
+                # Drain same-timestamp events from the batch; pop the
+                # heap only when the current timestamp is exhausted.
+                if batch:
+                    fn, fargs = pop_batch()
+                elif queue:
+                    t_now = heappop(queue)
+                    evs = pending.pop(t_now)
+                    self.now = t_now
+                    if len(evs) == 1:
+                        fn, fargs = evs[0]
+                    else:
+                        batch.extend(evs)
+                        fn, fargs = pop_batch()
+                else:
+                    break
+                events += 1
+                if events > limit:
+                    raise ExecutionError(
+                        f"event limit {limit} exceeded at "
+                        f"t={self.now:.1f} us (runaway program?)"
+                    )
+                if wall is not None and self.now > wall:
+                    if self.result is _UNSET or self.frames:
+                        raise self._stuck_error(
+                            f"simulated time crossed max_sim_time_us="
+                            f"{wall:g} us")
+                    break  # complete; abandon trailing housekeeping
+                if net is not None and fn not in maintenance:
+                    self._finish_us = self._last_progress_us = self.now
+                fn(*fargs)
+        finally:
+            self.events_processed = events
 
         if self.result is _UNSET or self.frames:
             blocked: list[str] = []
@@ -371,6 +447,8 @@ class Machine:
         frame = Frame(uid, block_id, ctx, pe.pid, template.num_slots,
                       name=template.name,
                       inputs_expected=len(template.inputs))
+        if self._dcode is not None:
+            frame.code = self._dcode[block_id]
         self.frames[uid] = frame
         self._serve(pe, "mm_free", "MM", T.MM_FRAME_OP)
         pe.stats.frames_created += 1
@@ -448,9 +526,11 @@ class Machine:
         # (instruction costs and context switches), so [t0, exit t] is
         # exactly one busy interval of the EU timeline.
         t0 = t
-        obs = self.obs
+        span = self._span
         waits = self._waits
         queue = self._queue
+        batch = self._batch
+        now = self.now
         stats = pe.stats
         frame = pe.running
         if waits is not None and frame is not None:
@@ -462,8 +542,8 @@ class Machine:
             if frame is None:
                 if not pe.ready:
                     pe.eu_time = t
-                    if obs is not None and t > t0:
-                        obs.span(pe.pid, "EU", t0, t)
+                    if span is not None and t > t0:
+                        span(pe.pid, "EU", t0, t)
                     return
                 frame = pe.ready.popleft()
                 if frame.status != READY:
@@ -480,15 +560,18 @@ class Machine:
                 stats.context_switches += 1
                 continue
 
-            # Never simulate the EU past a pending earlier event.
-            if queue and queue[0][0] < t:
+            # Never simulate the EU past a pending earlier event.  With
+            # the calendar queue an "earlier event" is either a batched
+            # event at the current timestamp (time == now < t) or the
+            # heap's next timestamp.
+            if (batch and now < t) or (queue and queue[0] < t):
                 pe.eu_scheduled = True
                 pe.eu_time = t
                 self.schedule(t, self._eu_step, pe)
                 if waits is not None:
                     waits.sp_run_end(frame.uid, t)
-                if obs is not None and t > t0:
-                    obs.span(pe.pid, "EU", t0, t)
+                if span is not None and t > t0:
+                    span(pe.pid, "EU", t0, t)
                 return
 
             t2, frame = self._execute(pe, frame, t)
@@ -503,8 +586,83 @@ class Machine:
                 pe.eu_time = t
                 if waits is not None and frame is not None:
                     waits.sp_run_end(frame.uid, t)
-                if obs is not None and t > t0:
-                    obs.span(pe.pid, "EU", t0, t)
+                if span is not None and t > t0:
+                    span(pe.pid, "EU", t0, t)
+                return
+
+    def _eu_step_fast(self, pe: PE) -> None:
+        """Table-driven twin of :meth:`_eu_step`.
+
+        Installed as the instance's ``_eu_step`` when the fast path is on
+        (see ``__init__``), so every scheduling site picks it up
+        transparently.  Behaviourally identical to the reference step —
+        same yield condition, same cost accounting, same hooks — but
+        instructions dispatch through the frame's compiled handler table
+        (:mod:`repro.sim.decode`) and loop invariants (``pe.degrade``,
+        ``pe.ready``, the busy dict) are hoisted out of the instruction
+        loop.  ``pe.degrade`` can only change in a ``_pe_degrade`` event,
+        which cannot run mid-step, so hoisting it is safe.
+        """
+        pe.eu_scheduled = False
+        if pe.halted or pe.suspended_on is not None:
+            return
+        t = max(self.now, pe.eu_time)
+        t0 = t
+        span = self._span
+        waits = self._waits
+        queue = self._queue
+        batch = self._batch
+        now = self.now
+        stats = pe.stats
+        busy = stats.busy
+        ready = pe.ready
+        degrade = pe.degrade
+        frame = pe.running
+        if waits is not None and frame is not None:
+            waits.sp_run_begin(frame.uid, t)
+
+        while True:
+            if frame is None:
+                if not ready:
+                    pe.eu_time = t
+                    if span is not None and t > t0:
+                        span(pe.pid, "EU", t0, t)
+                    return
+                frame = ready.popleft()
+                if frame.status != READY:
+                    frame = None
+                    continue
+                frame.status = RUNNING
+                pe.running = frame
+                if waits is not None:
+                    waits.sp_run_begin(frame.uid, t)
+                t += T.CONTEXT_SWITCH
+                busy["EU"] += T.CONTEXT_SWITCH
+                stats.context_switches += 1
+                continue
+
+            if (queue and queue[0] < t) or (batch and now < t):
+                pe.eu_scheduled = True
+                pe.eu_time = t
+                self.schedule(t, self._eu_step, pe)
+                if waits is not None:
+                    waits.sp_run_end(frame.uid, t)
+                if span is not None and t > t0:
+                    span(pe.pid, "EU", t0, t)
+                return
+
+            t2, frame = frame.code[frame.pc](self, pe, frame, t)
+            if degrade != 1.0 and t2 > t:
+                extra = (t2 - t) * (degrade - 1.0)
+                busy["EU"] += extra
+                t2 += extra
+            t = t2
+            if pe.suspended_on is not None:
+                pe.eu_time = t
+                if waits is not None and frame is not None:
+                    waits.sp_run_end(frame.uid, t)
+                if span is not None and t > t0:
+                    span(pe.pid, "EU", t0, t)
                 return
 
     def _execute(self, pe: PE, frame: Frame, t: float):
@@ -754,6 +912,7 @@ class Machine:
             self.obs.rf(pe.pid, frame.name, first, last, items)
         frame._slots[instr.dst] = first
         frame._slots[instr.dst2] = last
+        frame.present_mask |= (1 << instr.dst) | (1 << instr.dst2)
         frame.pc += 1
         cost = 2 * T.INT_CMP + 2 * T.INT_ADD + T.INT_MUL
         pe.stats.busy["EU"] += cost

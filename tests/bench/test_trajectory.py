@@ -61,6 +61,36 @@ class TestValidate:
         with pytest.raises(ValueError, match="invalid bench document"):
             trajectory.make_doc("smoke", {}, [])
 
+    # bool is an int subclass and json round-trips NaN/Infinity; neither
+    # is a legitimate measurement, so every numeric field rejects them.
+    @pytest.mark.parametrize("mutation, needle", [
+        ({"wall_s": True}, "wall_s"),
+        ({"wall_s": float("nan")}, "wall_s"),
+        ({"points": [{"label": "a", "pes": True, "time_us": 1.0}]}, "pes"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": True}]},
+         "time_us"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": float("nan")}]},
+         "time_us"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": float("inf")}]},
+         "time_us"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": 1.0,
+                      "speedup": float("nan")}]}, "speedup"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": 1.0,
+                      "events": True}]}, "events"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": 1.0,
+                      "critical_path_us": float("-inf")}]},
+         "critical_path_us"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": 1.0,
+                      "utilization": {"EU": float("nan")}}]},
+         "utilization"),
+        ({"points": [{"label": "a", "pes": 1, "time_us": 1.0,
+                      "utilization": {"EU": False}}]}, "utilization"),
+    ])
+    def test_bool_and_nonfinite_rejected(self, mutation, needle):
+        problems = trajectory.validate(doc(**mutation))
+        assert problems
+        assert any(needle in p for p in problems)
+
 
 class TestIO:
     def test_save_and_load(self, tmp_path):
@@ -86,6 +116,14 @@ class TestCompare:
         cmp = trajectory.compare(doc(), doc())
         assert cmp.ok
         assert not cmp.regressions and not cmp.improvements
+        # wall_s is always surfaced (informational), even unchanged.
+        assert any("wall_s" in n for n in cmp.notes)
+
+    def test_no_change_without_wall_clock(self):
+        prev, cur = doc(), doc()
+        del prev["wall_s"], cur["wall_s"]
+        cmp = trajectory.compare(prev, cur)
+        assert cmp.ok
         assert "no change beyond tolerance" in cmp.render()
 
     def test_time_regression_flagged(self):
@@ -137,6 +175,24 @@ class TestCompare:
         cmp = trajectory.compare(doc(), cur)
         assert cmp.ok
         assert any("never gates" in n for n in cmp.notes)
+
+    def test_wall_clock_note_always_printed(self):
+        # Even a within-tolerance wall_s delta is worth a note: the
+        # fast-path work is invisible in modeled time, so wall_s is the
+        # only place its effect shows up.
+        cur = doc(wall_s=1.51)                   # +0.7% < 2% tolerance
+        cmp = trajectory.compare(doc(), cur)
+        assert cmp.ok
+        assert any("wall_s" in n for n in cmp.notes)
+
+    def test_nan_time_never_masks_a_regression(self):
+        # A NaN current value must not silently compare as "no delta";
+        # _rel_delta skips it (None) and validation refuses the doc.
+        cur = doc()
+        cur["points"][0]["time_us"] = float("nan")
+        assert trajectory._rel_delta(1000.0, float("nan")) is None
+        assert trajectory._rel_delta(True, 2.0) is None
+        assert trajectory.validate(cur)
 
     def test_rtol_is_respected(self):
         cur = doc()
