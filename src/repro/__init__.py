@@ -19,7 +19,7 @@ Quick start::
             return A;
         }
     ''')
-    result = program.run_pods((16,), num_pes=8)
+    result = program.run((16,), backend="sim", parallelism=8)
     print(result.value[3, 4], result.finish_time_s)
 """
 

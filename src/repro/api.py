@@ -17,14 +17,22 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from repro.common.config import MachineConfig, SimConfig
+
+from repro.common.config import SimConfig
 from repro.graph import build_graph, ir, validate_graph
 from repro.lang import ast_nodes
 from repro.lang.parser import parse
 from repro.partitioner import PartitionReport, partition, partition_none
-from repro.sim.machine import Machine, RunResult
 from repro.translator import isa, translate
+
+
+def _deprecated_shim(old: str, backend: str) -> None:
+    warnings.warn(
+        f"Program.{old}() is deprecated; use "
+        f"Program.run(..., backend={backend!r}) (repro.backend registry)",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -40,44 +48,71 @@ class Program:
 
     # -- backends -----------------------------------------------------
 
+    def run(self, args: tuple = (), *, backend: str = "sim",
+            parallelism: int | None = None, config=None, faults=None,
+            **kwargs):
+        """Execute on any registered backend; the uniform surface.
+
+        ``backend`` is a name from the :mod:`repro.backend` registry
+        (``sim``/``pods``, ``parallel``, ``seq``/``sequential``,
+        ``static``); the return value is a
+        :class:`repro.backend.BackendResult` whatever the substrate.
+        ``parallelism`` is the PE/worker count (``None`` defers to
+        ``config``); ``config`` and ``faults`` are backend-specific but
+        validated uniformly; extra keyword arguments pass through to the
+        backend (e.g. ``timeout_s``/``page_size`` on ``parallel``).
+        """
+        from repro.backend import get_backend
+
+        return get_backend(backend).run(self, args,
+                                        parallelism=parallelism,
+                                        config=config, faults=faults,
+                                        **kwargs)
+
+    # -- deprecated per-backend shims ---------------------------------
+    # Retained for source compatibility only; each is a thin adapter
+    # onto the Backend registry that returns the backend-native result
+    # object (``BackendResult.raw``) the old signature promised.
+
     def run_pods(self, args: tuple = (), num_pes: int = 1,
-                 config: SimConfig | None = None) -> RunResult:
-        """Run on the PODS instruction-level simulator."""
-        if config is None:
-            config = SimConfig(machine=MachineConfig(num_pes=num_pes))
-        elif config.machine.num_pes != num_pes and num_pes != 1:
-            config = config.with_pes(num_pes)
-        return Machine(self.pods, config).run(args)
+                 config: SimConfig | None = None):
+        """Deprecated: use ``run(args, backend="sim", ...)``."""
+        _deprecated_shim("run_pods", "sim")
+        from repro.backend import get_backend
+
+        parallelism = num_pes if num_pes != 1 else None
+        return get_backend("sim").run(self, args, parallelism=parallelism,
+                                      config=config).raw
 
     def run_sequential(self, args: tuple = ()):
-        """Run on the sequential reference interpreter (the 'compiled C'
-        proxy of the paper's Section 5.3.4)."""
-        from repro.baseline.sequential import run_sequential
+        """Deprecated: use ``run(args, backend="seq")``."""
+        _deprecated_shim("run_sequential", "seq")
+        from repro.backend import get_backend
 
-        return run_sequential(self.ast, args, entry=self.entry)
+        return get_backend("seq").run(self, args).raw
 
     def run_static(self, args: tuple = (), num_pes: int = 1,
                    config: SimConfig | None = None):
-        """Run the Pingali & Rogers-style static-compilation baseline."""
-        from repro.baseline.static_pr import run_static
+        """Deprecated: use ``run(args, backend="static", ...)``."""
+        _deprecated_shim("run_static", "static")
+        from repro.backend import get_backend
 
-        return run_static(self, args, num_pes=num_pes, config=config)
+        parallelism = None if config is not None else num_pes
+        return get_backend("static").run(self, args,
+                                         parallelism=parallelism,
+                                         config=config).raw
 
     def run_parallel(self, args: tuple = (), workers: int = 2,
                      config=None, faults=None, **kwargs):
-        """Execute for real with the supervised multiprocessing backend.
+        """Deprecated: use ``run(args, backend="parallel", ...)``."""
+        _deprecated_shim("run_parallel", "parallel")
+        from repro.backend import get_backend
 
-        ``config`` takes a :class:`repro.common.config.ParallelConfig`;
-        ``faults`` a fault-injection spec (see
-        :mod:`repro.parallel.faults`); extra keyword arguments
-        (``timeout_s``, ``page_size``) pass through to
-        :func:`repro.parallel.executor.run_parallel`.
-        """
-        from repro.parallel.executor import run_parallel
-
-        return run_parallel(self.ast, args, workers=workers,
-                            entry=self.entry, config=config, faults=faults,
-                            **kwargs)
+        parallelism = None if config is not None else workers
+        return get_backend("parallel").run(self, args,
+                                           parallelism=parallelism,
+                                           config=config, faults=faults,
+                                           **kwargs).raw
 
     # -- introspection ---------------------------------------------------
 

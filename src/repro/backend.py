@@ -1,0 +1,537 @@
+"""The uniform execution-backend surface.
+
+The paper's central claim is that one partitioned dataflow program runs
+unchanged across execution substrates.  This module is where the
+reproduction states that claim as an interface: every way of executing a
+compiled program — the instruction-level PODS simulator, the real
+multiprocessing backend, the sequential reference interpreter and the
+Pingali & Rogers static baseline — is a :class:`Backend` with the same
+two-verb surface:
+
+* :meth:`Backend.compile` — source text to a
+  :class:`repro.api.Program` (the ``CompiledProgram`` every backend
+  accepts);
+* :meth:`Backend.run` — program + arguments to a
+  :class:`BackendResult` with a uniform result/registry/error surface.
+
+Backends register themselves in a name registry
+(:func:`get_backend` / :func:`backend_names`), which is what
+``repro.api.Program.run`` and the ``pods run --backend`` CLI dispatch
+through; there are no per-backend code paths above this module.
+
+Uniformity has three concrete faces:
+
+**Results.**  :class:`BackendResult` normalizes the four native result
+types.  ``value`` is the program's answer, ``time_us`` the modeled
+execution time (``None`` for the wall-clock parallel backend),
+``wall_time_s`` the measured wall time (``None`` for modeled backends),
+``registry`` the :class:`repro.obs.registry.MetricsRegistry` when the
+backend publishes one, and ``raw`` the backend-native result object for
+anything deeper (simulator :class:`~repro.sim.stats.RunStats`, parallel
+telemetry and recovery logs, static per-PE clocks).
+
+**Metrics.**  Backends with the ``metrics`` capability emit the *same
+semantic metric families* (``rf.subrange``, ``rf.items``,
+``array.element_writes``, ``array.pages_touched``, ``wait.us{pe,cause}``)
+into their registries, so observers can compare executions of one
+program across substrates row by row.  The conformance suite
+(``tests/conformance/``) holds every backend to this.
+
+**Errors.**  Every failure surfaces as a
+:class:`repro.common.errors.PodsError` subclass, and
+:func:`classify_error` folds the per-backend exception types into one
+substrate-independent taxonomy (a missing write is a ``deadlock``
+whether it appears as a simulator :class:`DeadlockError`, a parallel
+worker's :class:`DeferredReadTimeout`, or the sequential interpreter's
+:class:`MissingWriteError`).  :func:`render_error` is the matching
+one-line rendering the CLI prints.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.common.errors import (
+    BoundsViolation,
+    DeadlockError,
+    DeferredReadTimeout,
+    ExecutionError,
+    LanguageError,
+    LivelockError,
+    MissingWriteError,
+    ParallelExecutionError,
+    PEHaltError,
+    PodsError,
+    RuntimeFault,
+    SingleAssignmentViolation,
+)
+
+# -- capabilities -------------------------------------------------------
+# Advertised per backend; the conformance harness and the CLI gate
+# behaviour (fault plans, metric differentials, time rendering) on these
+# instead of on backend names.
+
+MODELED_TIME = "modeled-time"    # time_us is a modeled execution time
+WALL_TIME = "wall-time"          # wall_time_s is a measured wall time
+PARALLEL = "parallel"            # parallelism > 1 actually parallelizes
+METRICS = "metrics"              # publishes a MetricsRegistry
+WAITS = "waits"                  # attributes wait time (wait.us family)
+TRACE = "trace"                  # structured event trace / Perfetto
+FAULTS = "faults"                # accepts a fault-injection plan
+RECOVERY = "recovery"            # self-heals injected failures
+
+
+class UnknownBackendError(PodsError, ValueError):
+    """``get_backend`` was asked for a name nothing registered."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        known = ", ".join(backend_names(aliases=True))
+        super().__init__(f"unknown backend {name!r} (known: {known})")
+
+
+class BackendConfigError(PodsError, ValueError):
+    """A backend was handed arguments it cannot honour."""
+
+
+@dataclass
+class BackendResult:
+    """Uniform outcome of one run on any backend.
+
+    ``raw`` carries the backend-native result object
+    (:class:`repro.sim.machine.RunResult`,
+    :class:`repro.parallel.executor.ParallelResult`,
+    :class:`repro.baseline.sequential.SeqResult`,
+    :class:`repro.baseline.static_pr.StaticResult`) for surfaces the
+    uniform projection does not cover.
+    """
+
+    backend: str
+    value: Any
+    parallelism: int
+    time_us: float | None = None
+    wall_time_s: float | None = None
+    registry: Any = None
+    raw: Any = None
+
+    @property
+    def time_s(self) -> float | None:
+        """Modeled execution time in seconds (None on wall-clock backends)."""
+        return None if self.time_us is None else self.time_us / 1e6
+
+
+class Backend(ABC):
+    """One execution substrate for compiled IdLite programs.
+
+    Subclasses set ``name`` (the canonical registry key), optional
+    ``aliases``, ``capabilities``, and ``noun`` (what a unit of
+    parallelism is called in human-facing output), and implement
+    :meth:`_run`.  The public :meth:`run` validates arguments uniformly
+    before dispatching.
+    """
+
+    name: str = ""
+    aliases: tuple[str, ...] = ()
+    noun: str = "PEs"
+    capabilities: frozenset = frozenset()
+
+    # -- compile ---------------------------------------------------------
+
+    def compile(self, source: str, **kwargs):
+        """Compile IdLite source into the shared ``CompiledProgram``.
+
+        Every backend consumes the same :class:`repro.api.Program` (the
+        simulator and static baseline read its translated SP templates
+        and partitioned graph; the interpreters read its decorated AST),
+        so compilation is backend-independent by construction.
+        """
+        from repro.api import compile_source
+
+        return compile_source(source, **kwargs)
+
+    # -- run -------------------------------------------------------------
+
+    def run(self, program, args: tuple = (), *,
+            parallelism: int | None = None, config=None, faults=None,
+            **kwargs) -> BackendResult:
+        """Execute ``program`` and return a :class:`BackendResult`.
+
+        ``parallelism`` is the PE/worker count; ``None`` defers to
+        ``config`` (or 1), and an explicit value wins over a conflicting
+        ``config``.  ``faults`` takes a fault-plan spec for backends with
+        the ``faults`` capability; an explicit plan wins over the
+        backend's environment variable, but conflicting *explicit* specs
+        (``faults=`` plus a plan already in ``config``) are an error.
+        """
+        if parallelism is not None:
+            if isinstance(parallelism, bool) or not isinstance(parallelism, int):
+                raise BackendConfigError(
+                    f"parallelism must be an int, got {parallelism!r}")
+            if parallelism < 1:
+                raise BackendConfigError(
+                    f"parallelism must be >= 1, got {parallelism}")
+        if faults is not None and FAULTS not in self.capabilities:
+            raise BackendConfigError(
+                f"backend {self.name!r} does not support fault injection "
+                f"(faults={faults!r})")
+        self._check_config(config)
+        return self._run(program, tuple(args), parallelism=parallelism,
+                         config=config, faults=faults, **kwargs)
+
+    def _check_config(self, config) -> None:
+        """Reject a config object meant for a different backend."""
+        if config is None:
+            return
+        expected = self._config_type()
+        if expected is None:
+            raise BackendConfigError(
+                f"backend {self.name!r} takes no config object, got "
+                f"{type(config).__name__}")
+        if not isinstance(config, expected):
+            raise BackendConfigError(
+                f"backend {self.name!r} takes a {expected.__name__}, got "
+                f"{type(config).__name__}")
+
+    def _config_type(self):
+        """The config class this backend accepts (None = no config)."""
+        return None
+
+    @abstractmethod
+    def _run(self, program, args: tuple, *, parallelism, config, faults,
+             **kwargs) -> BackendResult:
+        ...
+
+    # -- CLI hooks -------------------------------------------------------
+
+    def cli_config(self, args):
+        """Build this backend's config object from ``pods run`` flags."""
+        return None
+
+    def render(self, result: BackendResult, args) -> list[str]:
+        """Human-facing run summary for ``pods run`` (one line per entry)."""
+        lines = [f"value: {result.value}"]
+        if result.time_us is not None:
+            line = f"modeled time: {result.time_s:.6f} s"
+            if PARALLEL in self.capabilities:
+                line += f" on {result.parallelism} {self.noun}"
+            lines.append(line)
+        if result.wall_time_s is not None:
+            lines.append(f"wall time: {result.wall_time_s:.3f} s on "
+                         f"{result.parallelism} {self.noun}")
+        return lines
+
+
+# -- registry -----------------------------------------------------------
+
+_REGISTRY: dict[str, Backend] = {}
+_CANONICAL: list[Backend] = []
+
+
+def register(backend: Backend) -> Backend:
+    """Add ``backend`` to the name registry (canonical name + aliases)."""
+    for name in (backend.name, *backend.aliases):
+        if name in _REGISTRY:
+            raise ValueError(f"backend name {name!r} registered twice")
+        _REGISTRY[name] = backend
+    _CANONICAL.append(backend)
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Resolve a backend by canonical name or alias."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise UnknownBackendError(name)
+    return backend
+
+
+def backend_names(aliases: bool = False) -> list[str]:
+    """Registered canonical names (plus aliases when asked)."""
+    if not aliases:
+        return [b.name for b in _CANONICAL]
+    out = []
+    for b in _CANONICAL:
+        out.append(b.name)
+        out.extend(b.aliases)
+    return out
+
+
+def backends() -> list[Backend]:
+    """Every registered backend, in registration order."""
+    return list(_CANONICAL)
+
+
+# -- error taxonomy -----------------------------------------------------
+# One substrate-independent failure vocabulary.  ``classify_error`` maps
+# any PodsError to a code; the conformance suite asserts that the same
+# program defect lands on the same code on every backend.
+
+ERROR_TAXONOMY = {
+    "compile": "the program was rejected before execution",
+    "single-assignment": "an I-structure element was written twice",
+    "bounds": "an array access fell outside the declared bounds",
+    "deadlock": "execution blocked forever on a missing write",
+    "livelock": "execution kept firing without making progress",
+    "pe-halt": "a halted PE stranded the rest of the machine",
+    "worker-failure": "a real-parallel worker died and was not healed",
+    "execution": "an instruction failed while executing",
+    "runtime": "another runtime fault",
+    "internal": "an error outside the PodsError hierarchy",
+}
+
+# Exception class names sniffed out of remote worker tracebacks: the
+# parallel supervisor reports worker-side faults as text, so the
+# classifier recovers the underlying taxonomy code from the detail.
+_DETAIL_MARKERS = (
+    ("SingleAssignmentViolation", "single-assignment"),
+    ("BoundsViolation", "bounds"),
+    ("DeferredReadTimeout", "deadlock"),
+    ("MissingWriteError", "deadlock"),
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to its :data:`ERROR_TAXONOMY` code."""
+    if isinstance(exc, ParallelExecutionError):
+        kinds = {f.kind for f in exc.failures}
+        details = "\n".join(f.detail for f in exc.failures)
+        for marker, code in _DETAIL_MARKERS:
+            if marker in details:
+                return code
+        if "stall" in kinds:
+            # Every live worker provably blocked — the wall-clock
+            # analogue of the simulator's DeadlockError.
+            return "deadlock"
+        return "worker-failure"
+    if isinstance(exc, SingleAssignmentViolation):
+        return "single-assignment"
+    if isinstance(exc, BoundsViolation):
+        return "bounds"
+    if isinstance(exc, (DeadlockError, DeferredReadTimeout,
+                        MissingWriteError)):
+        return "deadlock"
+    if isinstance(exc, PEHaltError):
+        return "pe-halt"
+    if isinstance(exc, LivelockError):
+        return "livelock"
+    if isinstance(exc, ExecutionError):
+        return "execution"
+    if isinstance(exc, RuntimeFault):
+        return "runtime"
+    if isinstance(exc, LanguageError):
+        return "compile"
+    if isinstance(exc, PodsError):
+        return "compile"
+    return "internal"
+
+
+def render_error(exc: BaseException) -> str:
+    """The uniform one-line error rendering (CLI / logs).
+
+    ``error[<ExceptionType>/<taxonomy-code>]: <first message line>`` —
+    one line regardless of how much diagnostic tail the structured
+    exception carries (blocked-waiter lists, worker tracebacks, ...);
+    the full detail stays available on the exception object.
+    """
+    text = str(exc).strip()
+    first = text.splitlines()[0] if text else type(exc).__name__
+    if isinstance(exc, ParallelExecutionError) and exc.failures:
+        kinds = ",".join(f"worker{f.worker}={f.kind}" for f in exc.failures)
+        first += f" [{kinds}]"
+    return f"error[{type(exc).__name__}/{classify_error(exc)}]: {first}"
+
+
+# -- concrete backends --------------------------------------------------
+
+
+class SimBackend(Backend):
+    """The instruction-level PODS simulator (the paper's machine)."""
+
+    name = "sim"
+    aliases = ("pods",)
+    noun = "PEs"
+    capabilities = frozenset({MODELED_TIME, PARALLEL, METRICS, WAITS,
+                              TRACE, FAULTS})
+
+    def _config_type(self):
+        from repro.common.config import SimConfig
+
+        return SimConfig
+
+    def _run(self, program, args, *, parallelism, config, faults,
+             **kwargs) -> BackendResult:
+        from repro.common.config import MachineConfig, SimConfig
+        from repro.sim.machine import Machine
+
+        if kwargs:
+            raise BackendConfigError(
+                f"backend 'sim' got unknown arguments {sorted(kwargs)}")
+        # Accept either the shared CompiledProgram or a bare translated
+        # PodsProgram (the .pods files of Figure 3).
+        pods = getattr(program, "pods", program)
+        if config is None:
+            config = SimConfig(
+                machine=MachineConfig(num_pes=parallelism or 1))
+        elif parallelism is not None and parallelism != 1 and \
+                config.machine.num_pes != parallelism:
+            config = config.with_pes(parallelism)
+        if faults is not None:
+            if config.faults is not None:
+                raise BackendConfigError(
+                    "conflicting fault plans: SimConfig.faults and "
+                    "faults= are both set")
+            config = replace(config, faults=faults)
+        result = Machine(pods, config).run(args)
+        return BackendResult(backend=self.name, value=result.value,
+                             parallelism=config.machine.num_pes,
+                             time_us=result.finish_time_us,
+                             registry=result.stats.registry, raw=result)
+
+    def cli_config(self, args):
+        from repro.common.config import MachineConfig, SimConfig
+
+        return SimConfig(machine=MachineConfig(num_pes=args.pes),
+                         faults=args.faults,
+                         max_sim_time_us=args.max_sim_time_us)
+
+    def render(self, result, args) -> list[str]:
+        lines = [f"value: {result.value}",
+                 f"modeled time: {result.time_s:.6f} s on "
+                 f"{result.parallelism} {self.noun}"]
+        if getattr(args, "stats", False):
+            lines.append(result.raw.stats.report())
+        else:
+            ns = getattr(result.raw.stats, "netstats", None)
+            if ns is not None and ns.any_faults():
+                lines.append(ns.table())
+        return lines
+
+
+class ParallelBackend(Backend):
+    """Supervised, self-healing multiprocessing execution (real time)."""
+
+    name = "parallel"
+    noun = "workers"
+    capabilities = frozenset({WALL_TIME, PARALLEL, METRICS, WAITS, TRACE,
+                              FAULTS, RECOVERY})
+
+    def _config_type(self):
+        from repro.common.config import ParallelConfig
+
+        return ParallelConfig
+
+    def _run(self, program, args, *, parallelism, config, faults,
+             **kwargs) -> BackendResult:
+        from repro.parallel.executor import run_parallel
+
+        if faults is not None and config is not None and \
+                config.fault_spec is not None:
+            raise BackendConfigError(
+                "conflicting fault plans: ParallelConfig.fault_spec and "
+                "faults= are both set")
+        if config is not None and parallelism is not None and \
+                config.workers != parallelism:
+            config = config.with_workers(parallelism)
+        workers = config.workers if config is not None else (parallelism or 1)
+        result = run_parallel(getattr(program, "ast", program), args,
+                              workers=workers,
+                              entry=getattr(program, "entry", "main"),
+                              config=config, faults=faults, **kwargs)
+        return BackendResult(backend=self.name, value=result.value,
+                             parallelism=result.workers,
+                             wall_time_s=result.wall_time_s,
+                             registry=result.registry, raw=result)
+
+    def cli_config(self, args):
+        from repro.common.config import ParallelConfig
+
+        return ParallelConfig(workers=args.pes,
+                              recovery=not args.no_recovery,
+                              max_retries_per_worker=args.retries,
+                              fault_spec=args.faults)
+
+    def render(self, result, args) -> list[str]:
+        lines = [f"value: {result.value}",
+                 f"wall time: {result.wall_time_s:.3f} s on "
+                 f"{result.parallelism} {self.noun}"]
+        raw = result.raw
+        if raw.recovery is not None and raw.recovery.events:
+            lines.append(raw.recovery_table())
+        trace_json = getattr(args, "trace_json", None)
+        if trace_json:
+            from repro.obs.export import parallel_trace_json
+
+            with open(trace_json, "w") as fh:
+                fh.write(parallel_trace_json(raw) + "\n")
+            lines.append(f"wrote {trace_json}")
+        return lines
+
+
+class SequentialBackend(Backend):
+    """The sequential reference interpreter (the 'compiled C' proxy).
+
+    Inherently serial: ``parallelism`` is accepted for surface
+    uniformity and ignored (the conformance matrix runs it at every PE
+    count as the oracle).
+    """
+
+    name = "seq"
+    aliases = ("sequential",)
+    noun = "PE"
+    capabilities = frozenset({MODELED_TIME})
+
+    def _run(self, program, args, *, parallelism, config, faults,
+             **kwargs) -> BackendResult:
+        from repro.baseline.sequential import run_sequential
+
+        if kwargs:
+            raise BackendConfigError(
+                f"backend 'seq' got unknown arguments {sorted(kwargs)}")
+        result = run_sequential(getattr(program, "ast", program), args,
+                                entry=getattr(program, "entry", "main"))
+        return BackendResult(backend=self.name, value=result.value,
+                             parallelism=1, time_us=result.time_us,
+                             raw=result)
+
+    def render(self, result, args) -> list[str]:
+        return [f"value: {result.value}",
+                f"modeled time: {result.time_s:.6f} s"]
+
+
+class StaticBackend(Backend):
+    """The Pingali & Rogers-style static-compilation baseline."""
+
+    name = "static"
+    noun = "PEs"
+    capabilities = frozenset({MODELED_TIME, PARALLEL})
+
+    def _config_type(self):
+        from repro.common.config import SimConfig
+
+        return SimConfig
+
+    def _run(self, program, args, *, parallelism, config, faults,
+             **kwargs) -> BackendResult:
+        from repro.baseline.static_pr import run_static
+
+        if kwargs:
+            raise BackendConfigError(
+                f"backend 'static' got unknown arguments {sorted(kwargs)}")
+        if config is not None and parallelism is not None and \
+                config.machine.num_pes != parallelism:
+            config = config.with_pes(parallelism)
+        result = run_static(program, args, num_pes=parallelism or 1,
+                            config=config)
+        pes = (config.machine.num_pes if config is not None
+               else (parallelism or 1))
+        return BackendResult(backend=self.name, value=result.value,
+                             parallelism=pes, time_us=result.time_us,
+                             raw=result)
+
+
+register(SimBackend())
+register(ParallelBackend())
+register(SequentialBackend())
+register(StaticBackend())

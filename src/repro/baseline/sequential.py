@@ -27,6 +27,7 @@ from typing import Any
 from repro.common.errors import (
     BoundsViolation,
     ExecutionError,
+    MissingWriteError,
     SingleAssignmentViolation,
 )
 from repro.lang import ast_nodes as A
@@ -92,10 +93,7 @@ class SeqArray:
     def read(self, indices: tuple[int, ...]) -> Any:
         value = self.cells[self.offset(indices)]
         if value is _ABSENT:
-            raise ExecutionError(
-                f"sequential read of unwritten element {indices} of array "
-                f"{self.array_id} (the program has a true data race)"
-            )
+            raise MissingWriteError(self.array_id, indices)
         return value
 
     def write(self, indices: tuple[int, ...], value: Any) -> int:

@@ -61,7 +61,8 @@ class Sweeper:
         obs = ObsConfig(metrics=self.observe, timelines=self.observe)
         config = SimConfig(machine=MachineConfig(num_pes=pes, **machine_kwargs),
                            obs=obs)
-        result = program.run_pods(args, num_pes=pes, config=config)
+        result = program.run(args, backend="sim", parallelism=pes,
+                             config=config).raw
         stats = result.stats
         if self.observe:
             utilization = {u: stats.timeline_utilization(u) for u in UNITS}
@@ -127,7 +128,8 @@ def parallel_sweep(program: Program, args: tuple,
     points: list[WallPoint] = []
     base: float | None = None
     for workers in worker_counts:
-        result = program.run_parallel(args, workers=workers, **run_kwargs)
+        result = program.run(args, backend="parallel", parallelism=workers,
+                             **run_kwargs).raw
         if base is None:
             base = result.wall_time_s
         stats = result.worker_stats
@@ -181,7 +183,8 @@ def profiled_sweep(program: Program, args: tuple, pe_counts: list[int],
         obs = ObsConfig(metrics=False, timelines=True, waits=True)
         config = SimConfig(
             machine=MachineConfig(num_pes=pes, **machine_kwargs), obs=obs)
-        result = program.run_pods(args, num_pes=pes, config=config)
+        result = program.run(args, backend="sim", parallelism=pes,
+                             config=config).raw
         stats = result.stats
         if base_us is None:
             base_us = stats.finish_time_us
@@ -258,7 +261,7 @@ def main(argv: list[str] | None = None) -> int:
             config = SimConfig(
                 machine=MachineConfig(num_pes=pes), obs=obs,
                 fast_path=fast)
-            res = program.run_pods(shape, config=config)
+            res = program.run(shape, backend="sim", config=config).raw
             results[fast] = (res.finish_time_us,
                              res.stats.events_processed,
                              res.stats.registry.to_jsonl())

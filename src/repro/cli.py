@@ -32,79 +32,28 @@ def _load(path: str, optimize: bool = False):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    """Registry-driven dispatch: one code path for every backend."""
+    from repro.backend import get_backend
+
+    backend = get_backend(args.backend)
     call_args = tuple(_parse_value(a) for a in (args.args or []))
     if args.file.endswith(".pods"):
-        # Pre-translated program (the .pods files of Figure 3).
-        from repro.common.config import MachineConfig, SimConfig
-        from repro.sim.machine import run_program
+        # Pre-translated program (the .pods files of Figure 3); only the
+        # simulator consumes the serialized SP templates.
         from repro.translator.serialize import load_program
 
-        if args.backend not in ("pods", "sim"):
+        if backend.name != "sim":
             print("error: .pods files run on the PODS simulator only",
                   file=sys.stderr)
             return 1
-        pods = load_program(args.file)
-        config = SimConfig(machine=MachineConfig(num_pes=args.pes),
-                           faults=args.faults,
-                           max_sim_time_us=args.max_sim_time_us)
-        result = run_program(pods, call_args, config)
-        print(f"value: {result.value}")
-        print(f"modeled time: {result.finish_time_s:.6f} s on {args.pes} PEs")
-        if args.stats:
-            print(result.stats.report())  # includes the fault table
-        else:
-            _print_fault_table(result)
-        return 0
-    program = _load(args.file, optimize=args.optimize)
-    if args.backend == "sequential":
-        result = program.run_sequential(call_args)
-        print(f"value: {result.value}")
-        print(f"modeled time: {result.time_s:.6f} s")
-    elif args.backend == "static":
-        result = program.run_static(call_args, num_pes=args.pes)
-        print(f"value: {result.value}")
-        print(f"modeled time: {result.time_s:.6f} s on {args.pes} PEs")
-    elif args.backend == "parallel":
-        from repro.common.config import ParallelConfig
-
-        cfg = ParallelConfig(workers=args.pes,
-                             recovery=not args.no_recovery,
-                             max_retries_per_worker=args.retries)
-        result = program.run_parallel(call_args, config=cfg,
-                                      faults=args.faults)
-        print(f"value: {result.value}")
-        print(f"wall time: {result.wall_time_s:.3f} s on {result.workers} "
-              "workers")
-        if result.recovery is not None and result.recovery.events:
-            print(result.recovery_table())
-        if args.trace_json:
-            from repro.obs.export import parallel_trace_json
-
-            with open(args.trace_json, "w") as fh:
-                fh.write(parallel_trace_json(result) + "\n")
-            print(f"wrote {args.trace_json}")
-    else:  # pods / sim
-        from repro.common.config import MachineConfig, SimConfig
-
-        config = SimConfig(machine=MachineConfig(num_pes=args.pes),
-                           faults=args.faults,
-                           max_sim_time_us=args.max_sim_time_us)
-        result = program.run_pods(call_args, num_pes=args.pes,
-                                  config=config)
-        print(f"value: {result.value}")
-        print(f"modeled time: {result.finish_time_s:.6f} s on {args.pes} PEs")
-        if args.stats:
-            print(result.stats.report())  # includes the fault table
-        else:
-            _print_fault_table(result)
+        program = load_program(args.file)
+    else:
+        program = _load(args.file, optimize=args.optimize)
+    result = backend.run(program, call_args, parallelism=args.pes,
+                         config=backend.cli_config(args))
+    for line in backend.render(result, args):
+        print(line)
     return 0
-
-
-def _print_fault_table(result) -> None:
-    """Network fault/recovery summary for chaos runs (sim backend)."""
-    ns = getattr(result.stats, "netstats", None)
-    if ns is not None and ns.any_faults():
-        print(ns.table())
 
 
 def _cmd_listing(args: argparse.Namespace) -> int:
@@ -242,7 +191,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.backend == "parallel":
         from repro.obs.profile import parallel_profile
 
-        result = program.run_parallel(call_args, workers=args.pes)
+        result = program.run(call_args, backend="parallel",
+                             parallelism=args.pes).raw
         text = f"value: {result.value}\n\n" + parallel_profile(result)
         if args.output:
             with open(args.output, "w") as fh:
@@ -291,7 +241,8 @@ def _cmd_simple(args: argparse.Namespace) -> int:
     pes = [int(p) for p in args.pes.split(",")]
     base = None
     for p in pes:
-        result = program.run_pods((args.size, args.steps), num_pes=p)
+        result = program.run((args.size, args.steps), backend="sim",
+                             parallelism=p).raw
         if base is None:
             base = result.finish_time_us
         print(f"{p:3d} PEs: {result.finish_time_s:8.4f} s  "
@@ -313,11 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--args", nargs="*", help="main() arguments")
     run.add_argument("--pes", type=int, default=1,
                      help="PE / worker count (default 1)")
-    run.add_argument("--backend", default="pods",
-                     choices=["pods", "sim", "sequential", "static",
-                              "parallel"],
-                     help="'sim' is an alias for the PODS simulator "
-                          "('pods')")
+    run.add_argument("--backend", default="sim",
+                     choices=["sim", "parallel", "seq", "static", "pods",
+                              "sequential"],
+                     help="execution backend (repro.backend registry); "
+                          "'pods' and 'sequential' are aliases for 'sim' "
+                          "and 'seq'")
     run.add_argument("--stats", action="store_true",
                      help="print the machine statistics report")
     run.add_argument("--optimize", action="store_true",
@@ -439,7 +391,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except PodsError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # One structured line whatever the backend: the exception type,
+        # its shared-taxonomy code, and the first message line — never a
+        # worker traceback or a multi-page blocked-SP report.
+        from repro.backend import render_error
+
+        print(render_error(exc), file=sys.stderr)
         return 1
 
 

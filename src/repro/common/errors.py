@@ -196,6 +196,26 @@ class ExecutionError(RuntimeFault):
     """An instruction failed while executing (bad opcode, type error, ...)."""
 
 
+class MissingWriteError(ExecutionError):
+    """A read of an element no execution order could have written.
+
+    The sequential interpreter's eager analogue of the dataflow
+    machine's :class:`DeadlockError`: where the simulator blocks forever
+    on the absent element (and diagnoses the drained machine), the
+    sequential order reads it immediately and fails here.  Both land on
+    the ``deadlock`` code of the shared error taxonomy
+    (:func:`repro.backend.classify_error`).
+    """
+
+    def __init__(self, array_id: int, indices: tuple[int, ...]) -> None:
+        self.array_id = array_id
+        self.indices = indices
+        super().__init__(
+            f"sequential read of unwritten element {indices} of array "
+            f"{array_id} (the program has a true data race)"
+        )
+
+
 class DeferredReadTimeout(ExecutionError):
     """A deferred read spun past its bound (missing write -> deadlock).
 

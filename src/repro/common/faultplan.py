@@ -76,6 +76,33 @@ def parse_clause_args(argstr: str, schema: dict, clause: str = "") -> dict:
     return kwargs
 
 
+def format_clause(action: str, args: dict) -> str:
+    """Render one parsed clause back to its spec form.
+
+    The inverse of ``split_clauses`` + ``parse_clause_args`` for one
+    clause: ``format_clause("drop", {"kind": "page", "count": 2})`` is
+    ``"drop:kind=page,count=2"``.  Values are rendered with ``str``,
+    which round-trips exactly for the grammar's ``int``/``float``/``str``
+    coercions (``repr`` and ``str`` agree on Python numbers).
+    """
+    if not args:
+        return action
+    body = ",".join(f"{key}={value}" for key, value in args.items())
+    return f"{action}:{body}"
+
+
+def format_spec(clauses: list[tuple[str, dict]]) -> str:
+    """Render ``(action, parsed-args)`` pairs back to one plan spec.
+
+    ``parse -> format -> parse`` is the identity (clause order, key
+    order and values all preserved) — the property the round-trip tests
+    in ``tests/common/test_faultplan.py`` hold the grammar to, so specs
+    can be echoed into logs, chaos reports and ``PODS_FAULTS``-style
+    environment variables without drift.
+    """
+    return ";".join(format_clause(action, args) for action, args in clauses)
+
+
 def spec_from_env(var: str) -> str | None:
     """Read a plan spec from an environment variable (None when unset)."""
     return os.environ.get(var)

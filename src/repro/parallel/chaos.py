@@ -104,11 +104,11 @@ def run_scenario(sc: Scenario, workers: int, verbose: bool) -> list[str]:
     """Run one scenario; return a list of problems (empty = pass)."""
     problems: list[str] = []
     program = compile_source(sc.source)
-    baseline = program.run_sequential((sc.n,)).value.flat
+    baseline = program.run((sc.n,), backend="seq").value.flat
     cfg = ParallelConfig(workers=workers, **{**FAST, **sc.cfg})
     os.environ["PODS_FAULTS"] = sc.faults
     try:
-        result = program.run_parallel((sc.n,), config=cfg)
+        result = program.run((sc.n,), backend="parallel", config=cfg).raw
     except ParallelExecutionError as exc:
         result = None
         if sc.heals:

@@ -39,8 +39,9 @@ import time
 from multiprocessing import shared_memory
 from typing import Callable
 
-from repro.common.errors import (DeferredReadTimeout, ExecutionError,
-                                 SingleAssignmentViolation, WorkerSuperseded)
+from repro.common.errors import (BoundsViolation, DeferredReadTimeout,
+                                 ExecutionError, SingleAssignmentViolation,
+                                 WorkerSuperseded)
 
 FLAG_ABSENT = 0
 FLAG_FLOAT = 1
@@ -172,11 +173,11 @@ class ShmArray:
 
     def offset(self, indices: tuple[int, ...]) -> int:
         if len(indices) != len(self.dims):
-            raise ExecutionError(f"rank mismatch {indices} vs {self.dims}")
+            raise BoundsViolation(self.name, indices, self.dims)
         off = 0
         for idx, dim, stride in zip(indices, self.dims, self.strides):
             if not 1 <= idx <= dim:
-                raise ExecutionError(f"index {indices} out of {self.dims}")
+                raise BoundsViolation(self.name, indices, self.dims)
             off += (idx - 1) * stride
         return off
 

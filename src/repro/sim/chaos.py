@@ -133,7 +133,7 @@ def run_scenario(sc: Scenario, pes: int, program, baseline,
 
     def chaos_run():
         cfg = _sim_config(pes, faults=sc.faults, **sc.cfg)
-        return program.run_pods((N,), config=cfg)
+        return program.run((N,), backend="sim", config=cfg).raw
 
     if not sc.heals:
         try:
@@ -197,7 +197,7 @@ def zero_cost_snapshot() -> dict:
     program = compile_source(ROW_SWEEP)
     runs = {}
     for pes in ZERO_COST_PES:
-        res = program.run_pods((N,), config=_sim_config(pes))
+        res = program.run((N,), backend="sim", config=_sim_config(pes)).raw
         runs[str(pes)] = {
             "finish_time_us": res.stats.finish_time_us,
             "registry_jsonl": res.stats.registry.to_jsonl(),
@@ -258,7 +258,8 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     program = compile_source(ROW_SWEEP)
-    baseline = program.run_pods((N,), config=_sim_config(args.pes))
+    baseline = program.run((N,), backend="sim",
+                           config=_sim_config(args.pes)).raw
     failed = 0
     matrix = scenarios(args.pes)
     for sc in matrix:

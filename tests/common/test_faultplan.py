@@ -105,3 +105,79 @@ class TestDialectsShareSyntax:
         assert not FaultPlan.parse("  ")
         assert not SimFaultPlan.parse(None)
         assert not SimFaultPlan.parse("  ")
+
+# -- round-trip properties -----------------------------------------------
+# The grammar must be an exact codec: parse -> format -> parse is the
+# identity for any spec the schema admits, so plans can be echoed into
+# logs, chaos reports and PODS_FAULTS-style environment variables and
+# re-ingested without drift.
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+_ACTIONS = st.sampled_from(["kill", "hang", "drop", "dup", "reorder",
+                            "pe-halt"])
+_KEYS = ["worker", "after", "count", "seed", "gen", "kind", "pe"]
+_SCHEMA = {k: int for k in _KEYS} | {"kind": str}
+_VALUES = {
+    "kind": st.sampled_from(["page", "token", "ack"]),
+}
+
+
+@st.composite
+def _clauses(draw):
+    action = draw(_ACTIONS)
+    keys = draw(st.lists(st.sampled_from(_KEYS), unique=True, max_size=4))
+    args = {k: draw(_VALUES.get(k, st.integers(0, 99))) for k in keys}
+    return action, args
+
+
+class TestRoundTrip:
+    @given(clauses=st.lists(_clauses(), min_size=1, max_size=5))
+    def test_parse_format_parse_identity(self, clauses):
+        spec = faultplan.format_spec(clauses)
+        reparsed = [
+            (action, faultplan.parse_clause_args(argstr, _SCHEMA,
+                                                 f"{action}:{argstr}"))
+            for action, argstr in faultplan.split_clauses(spec)]
+        assert reparsed == clauses
+        # format is idempotent through a second cycle too
+        assert faultplan.format_spec(reparsed) == spec
+
+    @given(clauses=st.lists(_clauses(), min_size=1, max_size=3),
+           junk=st.sampled_from(["bogus=1", "worker", "worker=x"]),
+           pos=st.integers(0, 3))
+    def test_junk_clause_is_named_in_the_error(self, clauses, junk, pos):
+        """A bad clause anywhere in the spec raises a ValueError whose
+        message pins the offending clause, never a neighbouring one."""
+        pos = min(pos, len(clauses))
+        parts = [faultplan.format_clause(a, kw) for a, kw in clauses]
+        parts.insert(pos, f"kill:{junk}")
+        spec = ";".join(parts)
+        with pytest.raises(ValueError) as excinfo:
+            for action, argstr in faultplan.split_clauses(spec):
+                faultplan.parse_clause_args(argstr, _SCHEMA,
+                                            f"{action}:{argstr}")
+        msg = str(excinfo.value)
+        assert junk.partition("=")[0] in msg
+
+    def test_format_clause_bare_action(self):
+        assert faultplan.format_clause("dup", {}) == "dup"
+        assert faultplan.split_clauses("dup") == [("dup", "")]
+
+    @given(clauses=st.lists(_clauses(), min_size=1, max_size=4))
+    def test_round_trip_through_real_dialect(self, clauses):
+        """Specs survive a trip through a real dialect parser: format a
+        parallel-dialect plan, parse it with FaultPlan, and the parsed
+        faults carry exactly the formatted qualifiers."""
+        dialect = {"worker", "after", "gen"}
+        plan_clauses = [
+            ("kill", {"worker": args.get("worker", 0),
+                      **{k: v for k, v in args.items() if k in dialect}})
+            for _, args in clauses]
+        spec = faultplan.format_spec(plan_clauses)
+        plan = FaultPlan.parse(spec)
+        assert len(plan.faults) == len(plan_clauses)
+        for fault, (_, args) in zip(plan.faults, plan_clauses):
+            for key, value in args.items():
+                assert getattr(fault, key) == value

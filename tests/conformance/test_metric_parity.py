@@ -1,0 +1,68 @@
+"""Semantic-metric parity: the simulator and the real parallel backend
+emit the *same* observability families with the *same* semantic values.
+
+What must match exactly (pure functions of the program + width, not of
+scheduling): Range-Filter subrange assignments (``rf.subrange`` rows),
+the total item count dealt (``rf.items``), the store traffic
+(``array.element_writes`` — single assignment means every element is
+written exactly once everywhere), and which pages of each array were
+populated (``array.pages_touched``).
+
+What must match structurally only: ``wait.us`` — both substrates
+attribute dependency waits to the same (pe, cause) label schema with
+the same cause vocabulary, but the magnitudes are a modeled machine vs
+host spin-wait and are not comparable.
+"""
+
+import pytest
+
+from tests.conformance.matrix import APPS, PARALLEL_UNSUPPORTED, PES
+
+pytestmark = pytest.mark.conformance
+
+PARALLEL_APPS = sorted(set(APPS) - set(PARALLEL_UNSUPPORTED))
+
+
+def _rf_rows(reg):
+    return sorted(
+        (r.labels_dict()["pe"], r.labels_dict()["first"],
+         r.labels_dict()["last"])
+        for r in reg.select("rf.subrange"))
+
+
+@pytest.mark.parametrize("pes", PES)
+@pytest.mark.parametrize("app", PARALLEL_APPS)
+def test_semantic_metric_families_agree(app, pes, runner):
+    sim = runner(app, "sim", pes, metrics=True)
+    par = runner(app, "parallel", pes)
+    sim_reg, par_reg = sim.registry, par.registry
+    assert sim_reg is not None and par_reg is not None
+
+    # Identical work division: every RF dealt the same index subranges
+    # to the same PE/worker slots, covering the same total item count.
+    assert _rf_rows(sim_reg) == _rf_rows(par_reg)
+    assert sim_reg.total("rf.items") == par_reg.total("rf.items")
+
+    # Identical store traffic (single assignment: one write/element).
+    assert (sim_reg.total("array.element_writes")
+            == par_reg.total("array.element_writes"))
+
+    # Identical page population of the shared arrays.
+    sim_pages = [r.value for r in sim_reg.select("array.pages_touched")]
+    par_pages = [r.value for r in par_reg.select("array.pages_touched")]
+    assert sim_pages == par_pages
+
+
+@pytest.mark.parametrize("app", PARALLEL_APPS)
+def test_wait_attribution_is_structural(app, runner):
+    """wait.us rows use the same label schema and cause vocabulary."""
+    from repro.obs.waits import IDLE, WAIT_CATEGORIES
+
+    causes = set(WAIT_CATEGORIES) | {IDLE}
+    sim = runner(app, "sim", PES[0], metrics=True)
+    par = runner(app, "parallel", PES[0])
+    for reg in (sim.registry, par.registry):
+        for row in reg.select("wait.us"):
+            labels = row.labels_dict()
+            assert set(labels) == {"pe", "cause"}
+            assert labels["cause"] in causes
