@@ -49,6 +49,7 @@ one-line rendering the CLI prints.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 from typing import Any
@@ -64,6 +65,7 @@ from repro.common.errors import (
     ParallelExecutionError,
     PEHaltError,
     PodsError,
+    RunRegressionError,
     RuntimeFault,
     SingleAssignmentViolation,
 )
@@ -115,11 +117,23 @@ class BackendResult:
     wall_time_s: float | None = None
     registry: Any = None
     raw: Any = None
+    # Full config fingerprint — backend name, effective parallelism and
+    # every config knob flattened to scalars — filled in uniformly by
+    # :meth:`Backend.run`.  This is the ``config`` section of a
+    # ``pods-run/v1`` record (see :mod:`repro.obs.runrecord`); two runs
+    # with equal fingerprints claim to be comparable point for point.
+    fingerprint: dict | None = None
 
     @property
     def time_s(self) -> float | None:
         """Modeled execution time in seconds (None on wall-clock backends)."""
         return None if self.time_us is None else self.time_us / 1e6
+
+    def to_run_record(self, program=None, args: tuple = ()) -> dict:
+        """This result as a self-describing ``pods-run/v1`` record."""
+        from repro.obs.runrecord import build_record
+
+        return build_record(self, program=program, args=args)
 
 
 class Backend(ABC):
@@ -177,8 +191,17 @@ class Backend(ABC):
                 f"backend {self.name!r} does not support fault injection "
                 f"(faults={faults!r})")
         self._check_config(config)
-        return self._run(program, tuple(args), parallelism=parallelism,
-                         config=config, faults=faults, **kwargs)
+        result = self._run(program, tuple(args), parallelism=parallelism,
+                           config=config, faults=faults, **kwargs)
+        # Uniform capture hook: every result leaves with its full config
+        # fingerprint attached, so any caller can turn it into a durable
+        # pods-run/v1 record without re-deriving what ran.  Building the
+        # dict is a few dozen scalar copies — it never touches modeled
+        # time, traces or metrics, keeping the disabled-observability
+        # path byte-identical.
+        result.fingerprint = config_fingerprint(
+            self.name, result.parallelism, config, faults=faults)
+        return result
 
     def _check_config(self, config) -> None:
         """Reject a config object meant for a different backend."""
@@ -221,6 +244,43 @@ class Backend(ABC):
             lines.append(f"wall time: {result.wall_time_s:.3f} s on "
                          f"{result.parallelism} {self.noun}")
         return lines
+
+
+# -- config fingerprinting ----------------------------------------------
+
+
+def _flatten_config(obj, prefix: str, out: dict) -> None:
+    """Flatten a (possibly nested) config dataclass to dotted scalars."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            sub = f"{prefix}.{f.name}" if prefix else f.name
+            _flatten_config(getattr(obj, f.name), sub, out)
+        return
+    if isinstance(obj, (int, float, str, bool, type(None))):
+        out[prefix] = obj
+    elif isinstance(obj, (list, tuple)):
+        out[prefix] = ",".join(str(v) for v in obj)
+    else:
+        out[prefix] = str(obj)
+
+
+def config_fingerprint(backend_name: str, parallelism: int, config=None,
+                       faults=None) -> dict:
+    """The scalar-only description of *what ran*: backend, effective
+    parallelism, every knob of the config object (nested dataclasses
+    flattened to dotted keys, non-scalars stringified) and any explicit
+    fault plan.  Deterministic by construction — dataclass field order
+    is fixed and values are scalars — so identical runs fingerprint to
+    identical dicts."""
+    fp: dict = {"backend": backend_name, "parallelism": parallelism}
+    if config is not None:
+        fp["config_type"] = type(config).__name__
+        flat: dict = {}
+        _flatten_config(config, "", flat)
+        fp.update(flat)
+    if faults is not None:
+        fp["faults"] = str(faults)
+    return fp
 
 
 # -- registry -----------------------------------------------------------
@@ -278,6 +338,7 @@ ERROR_TAXONOMY = {
     "worker-failure": "a real-parallel worker died and was not healed",
     "execution": "an instruction failed while executing",
     "runtime": "another runtime fault",
+    "regression": "a stored run regressed against its baseline",
     "internal": "an error outside the PodsError hierarchy",
 }
 
@@ -322,6 +383,8 @@ def classify_error(exc: BaseException) -> str:
         return "runtime"
     if isinstance(exc, LanguageError):
         return "compile"
+    if isinstance(exc, RunRegressionError):
+        return "regression"
     if isinstance(exc, PodsError):
         return "compile"
     return "internal"

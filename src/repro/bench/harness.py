@@ -171,20 +171,32 @@ def save_report(name: str, text: str) -> str:
 
 
 def profiled_sweep(program: Program, args: tuple, pe_counts: list[int],
-                   label: str = "", **machine_kwargs) -> list[dict]:
+                   label: str = "", store=None,
+                   **machine_kwargs) -> list[dict]:
     """Run one configuration per PE count with wait-state observability
     on and return schema-v1 trajectory points (time, speedup,
-    utilization, critical-path length)."""
+    utilization, critical-path length).
+
+    With a :class:`repro.obs.store.RunStore` passed as ``store``, each
+    configuration additionally runs with the metrics registry on and
+    deposits a full ``pods-run/v1`` record into the ledger — the bench
+    trajectory and the run ledger then describe the same executions.
+    """
     from repro.obs.critpath import critical_path
 
     points: list[dict] = []
     base_us: float | None = None
     for pes in pe_counts:
-        obs = ObsConfig(metrics=False, timelines=True, waits=True)
+        obs = ObsConfig(metrics=store is not None, timelines=True,
+                        waits=True)
         config = SimConfig(
             machine=MachineConfig(num_pes=pes, **machine_kwargs), obs=obs)
-        result = program.run(args, backend="sim", parallelism=pes,
-                             config=config).raw
+        backend_result = program.run(args, backend="sim", parallelism=pes,
+                                     config=config)
+        if store is not None:
+            store.put(backend_result.to_run_record(program=program,
+                                                   args=args))
+        result = backend_result.raw
         stats = result.stats
         if base_us is None:
             base_us = stats.finish_time_us
@@ -234,16 +246,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="re-run the largest PE count on the "
                              "reference interpreter and require "
                              "bit-identity with the fast path")
+    parser.add_argument("--record-dir", default=None,
+                        help="also deposit a pods-run/v1 record per PE "
+                             "count into this run ledger (e.g. "
+                             ".pods-runs)")
     args = parser.parse_args(argv)
 
     from repro.apps.simple_app import compile_simple
+
+    store = None
+    if args.record_dir:
+        from repro.obs.store import RunStore
+
+        store = RunStore(args.record_dir)
 
     pe_counts = [int(p) for p in args.pes.split(",")]
     program = compile_simple(conduction_only=args.conduction_only)
     t0 = time.perf_counter()
     points = profiled_sweep(program, (args.size, args.steps), pe_counts,
-                            label=f"{args.size}x{args.size}")
+                            label=f"{args.size}x{args.size}", store=store)
     wall_s = time.perf_counter() - t0
+    if store is not None:
+        deposited = store.entries()[-len(pe_counts):]
+        for e in deposited:
+            print(f"recorded {e.id[:12]} ({e.program} on {e.backend} x "
+                  f"{e.parallelism}) in {store.root}")
 
     for pt in points:
         print(f"{pt['pes']:3d} PEs: {pt['time_us'] / 1e6:9.6f} s  "

@@ -256,6 +256,13 @@ def compare(prev: dict, cur: dict, rtol: float = 0.02) -> Comparison:
         cmp.notes.append(
             f"wall_s {prev['wall_s']:.2f} -> {cur['wall_s']:.2f} "
             f"({wall_delta * 100:+.1f}%) - host-dependent, never gates")
+    elif _is_number(cur.get("wall_s")) and not _is_number(prev.get("wall_s")):
+        # An old baseline without wall_s used to make the delta vanish
+        # silently; say so instead, so a missing host-timing column is a
+        # visible property of the comparison, not an accident.
+        cmp.notes.append(
+            f"no baseline wall_s - current {cur['wall_s']:.2f} s is the "
+            "first recorded host timing (never gates)")
     return cmp
 
 

@@ -49,11 +49,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         program = load_program(args.file)
     else:
         program = _load(args.file, optimize=args.optimize)
+    config = backend.cli_config(args)
+    wants_obs = bool(getattr(args, "record", False)
+                     or getattr(args, "metrics_out", None))
+    if wants_obs:
+        config = _with_full_obs(config)
     result = backend.run(program, call_args, parallelism=args.pes,
-                         config=backend.cli_config(args))
+                         config=config)
     for line in backend.render(result, args):
         print(line)
+    if getattr(args, "metrics_out", None):
+        if result.registry is None:
+            print(f"error: backend {backend.name!r} published no metrics "
+                  "registry to expose", file=sys.stderr)
+            return 1
+        with open(args.metrics_out, "w") as fh:
+            fh.write(result.registry.to_openmetrics() + "\n")
+        print(f"wrote {args.metrics_out}")
+    if getattr(args, "record", False):
+        from repro.obs.store import RunStore
+
+        store = RunStore(args.runs_dir)
+        rid = store.put(result.to_run_record(program=program,
+                                             args=call_args))
+        print(f"recorded {rid[:12]} in {store.root}")
     return 0
+
+
+def _with_full_obs(config):
+    """Upgrade a sim config to full observability for ``--record`` /
+    ``--metrics-out`` (other backends observe unconditionally)."""
+    from dataclasses import replace
+
+    from repro.common.config import ObsConfig, SimConfig
+
+    if isinstance(config, SimConfig):
+        obs = config.obs
+        return replace(config, obs=replace(obs, metrics=True,
+                                           timelines=True, waits=True))
+    return config
 
 
 def _cmd_listing(args: argparse.Namespace) -> int:
@@ -156,22 +190,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _blocked_cause_table(machine, result) -> str:
     """Per-PE blocked-cause column for ``pods trace --format summary``:
-    attributed wait time per category plus anything still blocked at the
-    end of the run (``PE.describe_blocked()``)."""
+    the shared :func:`repro.obs.profile.blocked_cause_table` plus
+    anything still blocked at the end of the run
+    (``PE.describe_blocked()``)."""
     from repro.obs.critpath import pe_wait_breakdown
-    from repro.obs.waits import IDLE, WAIT_CATEGORIES
+    from repro.obs.profile import blocked_cause_table
 
     stats = result.stats
-    cats = list(WAIT_CATEGORIES) + [IDLE]
-    lines = ["blocked causes (us per PE):",
-             "  PE  " + "".join(f"{c:>18s}" for c in cats)]
     breakdown = pe_wait_breakdown(stats.waits, stats.timelines,
                                   stats.num_pes, stats.finish_time_us)
-    for pe in range(stats.num_pes):
-        row = f"  {pe:<4d}"
-        for cat in cats:
-            row += f"{breakdown[pe].get(cat, 0.0):>18.1f}"
-        lines.append(row)
+    lines = [blocked_cause_table(breakdown, stats.num_pes)]
     still_blocked = []
     for pe in machine.pes:
         still_blocked.extend(pe.describe_blocked())
@@ -214,6 +242,111 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _runs_store(args):
+    from repro.obs.store import RunStore
+
+    return RunStore(args.store)
+
+
+def _load_record_ref(store, ref: str) -> dict:
+    """A record reference: an id/prefix/'latest' in the store, or a path
+    to a bare record file (committed baselines)."""
+    import os
+
+    from repro.obs.store import load_record
+
+    if os.path.sep in ref or ref.endswith(".json") or os.path.exists(ref):
+        return load_record(ref)
+    return store.get(ref)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    store = _runs_store(args)
+    entries = store.select(program=args.program, backend=args.backend)
+    if args.last:
+        entries = entries[-args.last:]
+    if not entries:
+        print(f"(no run records in {store.root})")
+        return 0
+    print(f"{'seq':>4s}  {'id':<12s}  {'program':<16s}  {'backend':<9s}"
+          f"  {'par':>3s}  {'time':>12s}")
+    for e in entries:
+        if e.time_us is not None:
+            t = f"{e.time_us / 1e6:10.6f} s"
+        elif e.wall_time_s is not None:
+            t = f"{e.wall_time_s:8.3f} sw"
+        else:
+            t = "-"
+        print(f"{e.seq:>4d}  {e.id[:12]:<12s}  {e.program:<16s}  "
+              f"{e.backend:<9s}  {e.parallelism:>3d}  {t:>12s}")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.obs import runrecord
+    from repro.obs.export import openmetrics_from_rows
+
+    store = _runs_store(args)
+    doc = _load_record_ref(store, args.record)
+    if args.openmetrics:
+        print(openmetrics_from_rows(doc.get("metrics", [])))
+    else:
+        print(runrecord.render_record(doc))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.common.errors import RunRegressionError
+    from repro.obs import runrecord
+
+    store = _runs_store(args)
+    a = _load_record_ref(store, args.a)
+    b = _load_record_ref(store, args.b)
+    result = runrecord.diff(a, b, rtol=args.rtol)
+    print(result.render())
+    if not result.ok and not args.report_only:
+        # The shared exit-code convention: a structured one-line
+        # error[Type/code] on stderr and exit 1, same as any run fault.
+        raise RunRegressionError(
+            f"{len(result.regressions)} regression(s) between "
+            f"{result.a_id[:12]} and {result.b_id[:12]}")
+    return 0
+
+
+def _cmd_runs_regress(args: argparse.Namespace) -> int:
+    from repro.common.errors import RunRegressionError
+    from repro.obs import runrecord
+    from repro.obs.store import RunStoreError, load_record
+
+    store = _runs_store(args)
+    baseline = load_record(args.baseline)
+    if args.record:
+        current = _load_record_ref(store, args.record)
+    else:
+        # Newest stored record of the same (program, backend, width) as
+        # the baseline — what the CI bench-smoke gate compares.
+        matches = store.select(
+            program=str(baseline.get("program", {}).get("name", "?")),
+            backend=str(baseline.get("config", {}).get("backend", "?")),
+            parallelism=baseline.get("config", {}).get("parallelism"))
+        if not matches:
+            raise RunStoreError(
+                f"no stored run matches the baseline "
+                f"({baseline.get('program', {}).get('name')!r} on "
+                f"{baseline.get('config', {}).get('backend')!r} x "
+                f"{baseline.get('config', {}).get('parallelism')})")
+        current = store.get(matches[-1].id)
+    result = runrecord.diff(baseline, current, rtol=args.rtol)
+    print(result.render())
+    if not result.ok and not args.report_only:
+        raise RunRegressionError(
+            f"{len(result.regressions)} regression(s) against baseline "
+            f"{args.baseline}")
+    print("regress: ok" if result.ok else "regress: regressions "
+          "(report-only)")
     return 0
 
 
@@ -292,7 +425,75 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-json",
                      help="parallel backend: write a Perfetto trace (with "
                           "recovery spans) to this path")
+    run.add_argument("--record", action="store_true",
+                     help="deposit a pods-run/v1 record of this run into "
+                          "the run ledger (implies full observability on "
+                          "the sim backend)")
+    run.add_argument("--runs-dir", default=None,
+                     help="run-ledger directory (default .pods-runs, or "
+                          "PODS_RUNS_DIR)")
+    run.add_argument("--metrics-out",
+                     help="write the run's metrics registry as an "
+                          "OpenMetrics/Prometheus text exposition to "
+                          "this path")
     run.set_defaults(func=_cmd_run)
+
+    runs = sub.add_parser(
+        "runs", help="inspect the persistent run ledger (.pods-runs)")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _store_arg(p):
+        p.add_argument("--store", default=None,
+                       help="run-ledger directory (default .pods-runs, "
+                            "or PODS_RUNS_DIR)")
+
+    runs_list = runs_sub.add_parser("list", help="list deposited records")
+    _store_arg(runs_list)
+    runs_list.add_argument("--program", help="filter by program name")
+    runs_list.add_argument("--backend", help="filter by backend")
+    runs_list.add_argument("-n", "--last", type=int, default=None,
+                           help="show only the newest N records")
+    runs_list.set_defaults(func=_cmd_runs_list)
+
+    runs_show = runs_sub.add_parser("show", help="render one record")
+    _store_arg(runs_show)
+    runs_show.add_argument("record",
+                           help="record id, id prefix, 'latest', or a "
+                                "record file path")
+    runs_show.add_argument("--openmetrics", action="store_true",
+                           help="print the stored metrics as an "
+                                "OpenMetrics text exposition instead of "
+                                "the summary")
+    runs_show.set_defaults(func=_cmd_runs_show)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="diff two records; exits 1 on regression")
+    _store_arg(runs_diff)
+    runs_diff.add_argument("a", help="baseline record (id/'latest'/path)")
+    runs_diff.add_argument("b", help="candidate record (id/'latest'/path)")
+    runs_diff.add_argument("--rtol", type=float, default=0.02,
+                           help="relative tolerance before a time delta "
+                                "is a regression (default 0.02)")
+    runs_diff.add_argument("--report-only", action="store_true",
+                           help="always exit 0; print findings only")
+    runs_diff.set_defaults(func=_cmd_runs_diff)
+
+    runs_regress = runs_sub.add_parser(
+        "regress", help="gate the newest matching stored run against a "
+                        "committed baseline record; exits 1 on "
+                        "regression")
+    _store_arg(runs_regress)
+    runs_regress.add_argument("--baseline", required=True,
+                              help="committed pods-run/v1 record file")
+    runs_regress.add_argument("--record", default=None,
+                              help="explicit record to gate (id/'latest'/"
+                                   "path); default: newest stored run "
+                                   "matching the baseline's program/"
+                                   "backend/parallelism")
+    runs_regress.add_argument("--rtol", type=float, default=0.02)
+    runs_regress.add_argument("--report-only", action="store_true",
+                              help="always exit 0; print findings only")
+    runs_regress.set_defaults(func=_cmd_runs_regress)
 
     listing = sub.add_parser("listing", help="show the SP assembly listing")
     listing.add_argument("file")

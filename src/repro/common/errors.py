@@ -61,6 +61,14 @@ class GraphError(PodsError):
     """The dataflow graph is malformed (dangling arcs, bad ports, ...)."""
 
 
+class RunRegressionError(PodsError):
+    """A stored run record regressed against its baseline.
+
+    Raised by the ``pods runs diff`` / ``pods runs regress`` gates so CI
+    consumers get the shared one-line ``error[Type/code]`` rendering and
+    nonzero exit of every other structured failure."""
+
+
 class TranslationError(PodsError):
     """The PODS Translator could not order or lower a code block."""
 

@@ -24,11 +24,13 @@ everything off the simulator pays one ``is None`` check per event.
 from repro.obs.registry import MetricsRegistry, MetricRow
 from repro.obs.timeline import Span, TimelineStore, UnitTimeline
 from repro.obs.recorder import ObsRecorder
+from repro.obs.store import RunStore
 
 __all__ = [
     "MetricsRegistry",
     "MetricRow",
     "ObsRecorder",
+    "RunStore",
     "Span",
     "TimelineStore",
     "UnitTimeline",

@@ -24,6 +24,44 @@ from repro.obs.critpath import (
 from repro.obs.waits import IDLE, RUN, WAIT_CATEGORIES
 
 
+def blocked_cause_table(breakdown: list[dict[str, float]], num_pes: int,
+                        *, busy_us: list[float] | None = None,
+                        finish_us: float | None = None) -> str:
+    """The per-PE wait-category table every consumer renders.
+
+    One shared shape for ``pods profile``, ``pods trace --format
+    summary`` and ``pods runs show``: a row per PE, a column per wait
+    category (plus idle).  Without ``busy_us`` the cells are raw
+    microseconds ("blocked causes"); with ``busy_us`` and ``finish_us``
+    the cells are percentages of the makespan and a leading busy column
+    is added ("blocked-time breakdown").
+    """
+    cats = list(WAIT_CATEGORIES) + [IDLE]
+    if busy_us is None:
+        lines = ["blocked causes (us per PE):",
+                 "  PE  " + "".join(f"{c:>18s}" for c in cats)]
+        for pe in range(num_pes):
+            row = f"  {pe:<4d}"
+            for cat in cats:
+                row += f"{breakdown[pe].get(cat, 0.0):>18.1f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def pct(us: float) -> str:
+        if finish_us is None or finish_us <= 0:
+            return "0.0%"
+        return f"{us / finish_us * 100:.1f}%"
+
+    lines = ["blocked-time breakdown (% of makespan per PE):",
+             "  PE   busy  " + "".join(f"{c:>18s}" for c in cats)]
+    for pe in range(num_pes):
+        row = f"  {pe:<4d}{pct(busy_us[pe]):>6s} "
+        for cat in cats:
+            row += f"{pct(breakdown[pe].get(cat, 0.0)):>18s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 @dataclass
 class Profile:
     """Everything ``pods profile`` reports, derived from one RunStats."""
@@ -87,14 +125,9 @@ class Profile:
         ms = self.finish_us
         lines.append(f"makespan: {ms / 1e6:.6f} s on {self.num_pes} PE(s)")
         lines.append("")
-        lines.append("blocked-time breakdown (% of makespan per PE):")
-        header = "  PE   busy  " + "".join(f"{c:>18s}" for c in cats)
-        lines.append(header)
-        for pe in range(self.num_pes):
-            row = f"  {pe:<4d}{self._pct(self.busy_us[pe]):>6s} "
-            for cat in cats:
-                row += f"{self._pct(self.breakdown[pe].get(cat, 0.0)):>18s}"
-            lines.append(row)
+        lines.append(blocked_cause_table(self.breakdown, self.num_pes,
+                                         busy_us=self.busy_us,
+                                         finish_us=self.finish_us))
         totals = self.wait_totals()
         if totals:
             worst = max(totals, key=lambda c: (totals[c], c))

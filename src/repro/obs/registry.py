@@ -178,3 +178,83 @@ class MetricsRegistry:
                      if isinstance(row.value, dict) else row.value)
             lines.append(f"{row.kind},{row.name},{labels},{value}")
         return "\n".join(lines)
+
+    def to_openmetrics(self, prefix: str = "pods") -> str:
+        """OpenMetrics / Prometheus text exposition of the registry.
+
+        Metric names are sanitized (``rf.subrange`` ->
+        ``pods_rf_subrange``), counters get the ``_total`` sample
+        suffix, histograms expose cumulative ``_bucket{le=...}`` series
+        plus ``_count``/``_sum``.  Output order is the registry's
+        deterministic (kind, name, labels) order and the text ends with
+        the spec's ``# EOF`` terminator, so identical runs expose
+        byte-identical pages.
+        """
+        lines: list[str] = []
+        typed: set[str] = set()
+
+        def family(kind: str, name: str) -> str:
+            mname = _om_name(prefix, name)
+            if mname not in typed:
+                typed.add(mname)
+                lines.append(f"# TYPE {mname} {kind}")
+            return mname
+
+        for (name, lk), v in sorted(self._counters.items()):
+            mname = family("counter", name)
+            lines.append(f"{mname}_total{_om_labels(lk)} {_om_num(v)}")
+        for (name, lk), v in sorted(self._gauges.items()):
+            mname = family("gauge", name)
+            lines.append(f"{mname}{_om_labels(lk)} {_om_num(v)}")
+        for (name, lk), hist in sorted(self._hists.items()):
+            mname = family("histogram", name)
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                lines.append(
+                    f"{mname}_bucket{_om_labels(lk, le=_om_num(bound))} "
+                    f"{cumulative}")
+            lines.append(
+                f"{mname}_bucket{_om_labels(lk, le='+Inf')} {hist.count}")
+            lines.append(f"{mname}_count{_om_labels(lk)} {hist.count}")
+            lines.append(f"{mname}_sum{_om_labels(lk)} "
+                         f"{_om_num(hist.total)}")
+        lines.append("# EOF")
+        return "\n".join(lines)
+
+
+# -- OpenMetrics encoding helpers ---------------------------------------
+
+
+def _om_name(prefix: str, name: str) -> str:
+    """``<prefix>_<name>`` with every illegal character folded to _."""
+    raw = f"{prefix}_{name}" if prefix else name
+    out = "".join(c if c.isascii() and (c.isalnum() or c in "_:") else "_"
+                  for c in raw)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _om_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _om_labels(labelkey: tuple, **extra: str) -> str:
+    pairs = [(k, str(v)) for k, v in labelkey]
+    pairs += [(k, str(v)) for k, v in extra.items()]
+    if not pairs:
+        return ""
+    body = ",".join(f'{_om_name("", k)}="{_om_escape(v)}"'
+                    for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _om_num(v: float) -> str:
+    """Deterministic sample formatting: ints bare, floats via repr."""
+    if isinstance(v, bool):
+        return str(int(v))
+    if isinstance(v, int) or (isinstance(v, float) and v.is_integer()):
+        return str(int(v))
+    return repr(float(v))

@@ -176,6 +176,21 @@ class TestCompare:
         assert cmp.ok
         assert any("never gates" in n for n in cmp.notes)
 
+    def test_missing_baseline_wall_clock_is_an_explicit_note(self):
+        # A baseline without wall_s used to make the wall-clock delta
+        # vanish silently; the comparator must say the column is absent
+        # instead of implying "no change".
+        prev, cur = doc(), doc()
+        del prev["wall_s"]
+        cmp = trajectory.compare(prev, cur)
+        assert cmp.ok
+        assert any("no baseline wall_s" in n for n in cmp.notes)
+        assert any("never gates" in n for n in cmp.notes)
+        # The mirror image (baseline has it, current lost it) stays
+        # quiet on wall_s — there is no current number to surface.
+        cmp = trajectory.compare(cur, prev)
+        assert not any("wall_s" in n for n in cmp.notes)
+
     def test_wall_clock_note_always_printed(self):
         # Even a within-tolerance wall_s delta is worth a note: the
         # fast-path work is invisible in modeled time, so wall_s is the

@@ -216,3 +216,146 @@ class TestFormat:
 
         original = parse(PROGRAM)
         assert ast_fingerprint(parse(printed)) == ast_fingerprint(original)
+
+
+class TestRunLedger:
+    """The ``--record`` flag and the ``pods runs`` family."""
+
+    @pytest.fixture
+    def ledger(self, tmp_path):
+        return str(tmp_path / "ledger")
+
+    def record_run(self, program_file, ledger, pes="2"):
+        return main(["run", program_file, "--args", "5", "--pes", pes,
+                     "--record", "--runs-dir", ledger])
+
+    def test_record_and_list(self, program_file, ledger, capsys):
+        assert self.record_run(program_file, ledger) == 0
+        out = capsys.readouterr().out
+        assert "recorded " in out
+        assert main(["runs", "list", "--store", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out and "sim" in out
+        assert main(["runs", "list", "--store", ledger,
+                     "--backend", "parallel"]) == 0
+        assert "(no run records" in capsys.readouterr().out
+
+    def test_show_latest_and_openmetrics(self, program_file, ledger,
+                                         capsys):
+        assert self.record_run(program_file, ledger) == 0
+        capsys.readouterr()
+        assert main(["runs", "show", "latest", "--store", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "backend: sim x 2" in out
+        assert "blocked causes (us per PE):" in out
+        assert "critical path:" in out
+        assert main(["runs", "show", "latest", "--store", ledger,
+                     "--openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE pods_sim_instructions counter" in out
+        assert out.strip().endswith("# EOF")
+
+    def test_diff_identical_runs_is_empty(self, program_file, ledger,
+                                          capsys):
+        assert self.record_run(program_file, ledger) == 0
+        assert self.record_run(program_file, ledger) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", "latest", "latest",
+                     "--store", ledger]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_diff_config_change_is_notes_only(self, program_file, ledger,
+                                              capsys):
+        assert self.record_run(program_file, ledger, pes="1") == 0
+        assert self.record_run(program_file, ledger, pes="2") == 0
+        capsys.readouterr()
+        ids = [e.id for e in self._entries(ledger)]
+        assert main(["runs", "diff", ids[0], ids[1],
+                     "--store", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "config changed" in out
+        assert "REGRESSION" not in out
+
+    def test_diff_regression_exits_one_with_taxonomy_line(
+            self, program_file, ledger, tmp_path, capsys):
+        import json
+
+        from repro.obs import runrecord
+
+        assert self.record_run(program_file, ledger) == 0
+        capsys.readouterr()
+        store = self._store(ledger)
+        doc = store.get("latest")
+        doctored = json.loads(runrecord.canonical_json(doc))
+        doctored["result"]["value"] = -1
+        bad = tmp_path / "bad.json"
+        bad.write_text(runrecord.canonical_json(doctored) + "\n")
+
+        assert main(["runs", "diff", "latest", str(bad),
+                     "--store", ledger]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "error[RunRegressionError/regression]" in captured.err
+        # --report-only keeps the findings but drops the gate.
+        assert main(["runs", "diff", "latest", str(bad),
+                     "--store", ledger, "--report-only"]) == 0
+
+    def test_regress_against_committed_baseline(self, program_file,
+                                                ledger, tmp_path, capsys):
+        from repro.obs import runrecord
+
+        assert self.record_run(program_file, ledger) == 0
+        capsys.readouterr()
+        store = self._store(ledger)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            runrecord.canonical_json(store.get("latest")) + "\n")
+
+        assert main(["runs", "regress", "--baseline", str(baseline),
+                     "--store", ledger]) == 0
+        assert "regress: ok" in capsys.readouterr().out
+
+    def test_regress_without_matching_run_is_structured_error(
+            self, program_file, ledger, tmp_path, capsys):
+        from repro.obs import runrecord
+
+        assert self.record_run(program_file, ledger) == 0
+        capsys.readouterr()
+        store = self._store(ledger)
+        import json
+
+        doc = json.loads(runrecord.canonical_json(store.get("latest")))
+        doc["config"]["parallelism"] = 16   # nothing stored matches
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(runrecord.canonical_json(doc) + "\n")
+        assert main(["runs", "regress", "--baseline", str(baseline),
+                     "--store", ledger]) == 1
+        assert "no stored run matches" in capsys.readouterr().err
+
+    def test_metrics_out_writes_exposition(self, program_file, tmp_path,
+                                           capsys):
+        dest = tmp_path / "metrics.prom"
+        assert main(["run", program_file, "--args", "5", "--pes", "2",
+                     "--metrics-out", str(dest)]) == 0
+        text = dest.read_text()
+        assert text.startswith("# TYPE ")
+        assert text.endswith("# EOF\n")
+        assert 'pods_sim_instructions_total{pe="0"}' in text
+
+    def test_record_parallel_backend(self, program_file, ledger, capsys):
+        assert main(["run", program_file, "--backend", "parallel",
+                     "--args", "5", "--pes", "2",
+                     "--record", "--runs-dir", ledger]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--store", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "parallel" in out
+        assert " sw" in out   # wall clock, flagged as such
+
+    def _store(self, ledger):
+        from repro.obs.store import RunStore
+
+        return RunStore(ledger)
+
+    def _entries(self, ledger):
+        return self._store(ledger).entries()
