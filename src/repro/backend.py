@@ -62,12 +62,14 @@ from repro.common.errors import (
     LanguageError,
     LivelockError,
     MissingWriteError,
+    NodeLossError,
     ParallelExecutionError,
     PEHaltError,
     PodsError,
     RunRegressionError,
     RuntimeFault,
     SingleAssignmentViolation,
+    TransportError,
 )
 
 # -- capabilities -------------------------------------------------------
@@ -191,6 +193,7 @@ class Backend(ABC):
                 f"backend {self.name!r} does not support fault injection "
                 f"(faults={faults!r})")
         self._check_config(config)
+        self._validate_config(config)
         result = self._run(program, tuple(args), parallelism=parallelism,
                            config=config, faults=faults, **kwargs)
         # Uniform capture hook: every result leaves with its full config
@@ -221,6 +224,34 @@ class Backend(ABC):
         """The config class this backend accepts (None = no config)."""
         return None
 
+    # Timing/limit fields each backend holds to *positive finite* at the
+    # run() boundary.  The config dataclasses validate at construction
+    # too, but a config mutated after construction (or built around
+    # ``__post_init__``) would otherwise turn a NaN ``poll_interval_s``
+    # or ``spin_ceiling_s`` into a supervisor hang instead of an error.
+    _positive_finite_fields: tuple[str, ...] = ()
+
+    def _validate_config(self, config) -> None:
+        """Reject config field values this backend cannot run with.
+
+        Raises :class:`BackendConfigError` naming the offending field —
+        never a raw ``ValueError``, never a hang.
+        """
+        if config is None:
+            return
+        import math
+
+        for name in self._positive_finite_fields:
+            value = getattr(config, name, None)
+            if value is None:
+                continue
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float)) or \
+                    not math.isfinite(value) or value <= 0:
+                raise BackendConfigError(
+                    f"backend {self.name!r}: config field {name!r} must be "
+                    f"a positive finite number, got {value!r}")
+
     @abstractmethod
     def _run(self, program, args: tuple, *, parallelism, config, faults,
              **kwargs) -> BackendResult:
@@ -231,6 +262,10 @@ class Backend(ABC):
     def cli_config(self, args):
         """Build this backend's config object from ``pods run`` flags."""
         return None
+
+    def cli_parallelism(self, args):
+        """The effective width for this backend from ``pods run`` flags."""
+        return args.pes
 
     def render(self, result: BackendResult, args) -> list[str]:
         """Human-facing run summary for ``pods run`` (one line per entry)."""
@@ -336,6 +371,8 @@ ERROR_TAXONOMY = {
     "livelock": "execution kept firing without making progress",
     "pe-halt": "a halted PE stranded the rest of the machine",
     "worker-failure": "a real-parallel worker died and was not healed",
+    "node-loss": "a distributed node was lost and could not be healed",
+    "transport": "a distributed message channel gave up on its peer",
     "execution": "an instruction failed while executing",
     "runtime": "another runtime fault",
     "regression": "a stored run regressed against its baseline",
@@ -355,6 +392,13 @@ _DETAIL_MARKERS = (
 
 def classify_error(exc: BaseException) -> str:
     """Map an exception to its :data:`ERROR_TAXONOMY` code."""
+    if isinstance(exc, NodeLossError):
+        # Checked before the ParallelExecutionError branch it subclasses:
+        # an unhealed node loss is its own code, whatever the node-side
+        # tracebacks happen to contain.
+        return "node-loss"
+    if isinstance(exc, TransportError):
+        return "transport"
     if isinstance(exc, ParallelExecutionError):
         kinds = {f.kind for f in exc.failures}
         details = "\n".join(f.detail for f in exc.failures)
@@ -417,6 +461,8 @@ class SimBackend(Backend):
     noun = "PEs"
     capabilities = frozenset({MODELED_TIME, PARALLEL, METRICS, WAITS,
                               TRACE, FAULTS})
+    _positive_finite_fields = ("retransmit_timeout_us", "quiescence_us",
+                               "max_sim_time_us")
 
     def _config_type(self):
         from repro.common.config import SimConfig
@@ -479,6 +525,9 @@ class ParallelBackend(Backend):
     noun = "workers"
     capabilities = frozenset({WALL_TIME, PARALLEL, METRICS, WAITS, TRACE,
                               FAULTS, RECOVERY})
+    _positive_finite_fields = ("timeout_s", "poll_interval_s", "grace_s",
+                               "read_timeout_s", "spin_ceiling_s",
+                               "retry_backoff_s", "retry_backoff_max_s")
 
     def _config_type(self):
         from repro.common.config import ParallelConfig
@@ -569,6 +618,8 @@ class StaticBackend(Backend):
     name = "static"
     noun = "PEs"
     capabilities = frozenset({MODELED_TIME, PARALLEL})
+    _positive_finite_fields = ("retransmit_timeout_us", "quiescence_us",
+                               "max_sim_time_us")
 
     def _config_type(self):
         from repro.common.config import SimConfig
@@ -594,7 +645,81 @@ class StaticBackend(Backend):
                              raw=result)
 
 
+class DistBackend(Backend):
+    """Multi-node execution over a fault-tolerant TCP message layer.
+
+    The paper's target deployment: node processes connected by a real
+    network, remote I-structure reads as actual split-phase message
+    exchanges, page-grain remote caching, and first-element ownership
+    deciding which node answers for which subrange.  The spawn helper
+    runs the nodes on localhost; the wire protocol itself
+    (:mod:`repro.dist.transport`) is host-agnostic.
+    """
+
+    name = "dist"
+    aliases = ("distributed",)
+    noun = "nodes"
+    capabilities = frozenset({WALL_TIME, PARALLEL, METRICS, WAITS,
+                              FAULTS, RECOVERY})
+    _positive_finite_fields = (
+        "timeout_s", "poll_interval_s", "connect_timeout_s",
+        "read_timeout_s", "heartbeat_interval_s", "heartbeat_timeout_s",
+        "retransmit_timeout_s", "retry_backoff_s", "retry_backoff_max_s")
+
+    def _config_type(self):
+        from repro.common.config import DistConfig
+
+        return DistConfig
+
+    def _run(self, program, args, *, parallelism, config, faults,
+             **kwargs) -> BackendResult:
+        from repro.dist.coordinator import run_distributed
+
+        if faults is not None and config is not None and \
+                config.fault_spec is not None:
+            raise BackendConfigError(
+                "conflicting fault plans: DistConfig.fault_spec and "
+                "faults= are both set")
+        if config is not None and parallelism is not None and \
+                config.nodes != parallelism:
+            config = config.with_nodes(parallelism)
+        nodes = config.nodes if config is not None else (parallelism or 1)
+        result = run_distributed(getattr(program, "ast", program), args,
+                                 nodes=nodes,
+                                 entry=getattr(program, "entry", "main"),
+                                 config=config, faults=faults, **kwargs)
+        return BackendResult(backend=self.name, value=result.value,
+                             parallelism=result.nodes,
+                             wall_time_s=result.wall_time_s,
+                             registry=result.registry, raw=result)
+
+    def cli_config(self, args):
+        from repro.common.config import DistConfig
+
+        return DistConfig(nodes=self.cli_parallelism(args),
+                          recovery=not args.no_recovery,
+                          fault_spec=args.faults)
+
+    def cli_parallelism(self, args):
+        # --nodes wins over --pes; without it the two flags agree, so
+        # run()'s config-vs-parallelism consistency rule stays inert.
+        return getattr(args, "nodes", None) or args.pes
+
+    def render(self, result, args) -> list[str]:
+        lines = [f"value: {result.value}",
+                 f"wall time: {result.wall_time_s:.3f} s on "
+                 f"{result.parallelism} {self.noun}"]
+        raw = result.raw
+        if raw.recovery is not None and raw.recovery.events:
+            lines.append(raw.recovery.table())
+        ns = getattr(raw, "netstats", None)
+        if ns is not None and ns.any_faults():
+            lines.append(ns.table())
+        return lines
+
+
 register(SimBackend())
 register(ParallelBackend())
 register(SequentialBackend())
 register(StaticBackend())
+register(DistBackend())

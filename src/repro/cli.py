@@ -54,7 +54,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      or getattr(args, "metrics_out", None))
     if wants_obs:
         config = _with_full_obs(config)
-    result = backend.run(program, call_args, parallelism=args.pes,
+    result = backend.run(program, call_args,
+                         parallelism=backend.cli_parallelism(args),
                          config=config)
     for line in backend.render(result, args):
         print(line)
@@ -399,10 +400,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="PE / worker count (default 1)")
     run.add_argument("--backend", default="sim",
                      choices=["sim", "parallel", "seq", "static", "pods",
-                              "sequential"],
+                              "sequential", "dist", "distributed"],
                      help="execution backend (repro.backend registry); "
-                          "'pods' and 'sequential' are aliases for 'sim' "
-                          "and 'seq'")
+                          "'pods', 'sequential' and 'distributed' are "
+                          "aliases for 'sim', 'seq' and 'dist'")
+    run.add_argument("--nodes", type=int, default=None,
+                     help="dist backend: node process count "
+                          "(defaults to --pes)")
     run.add_argument("--stats", action="store_true",
                      help="print the machine statistics report")
     run.add_argument("--optimize", action="store_true",
@@ -417,7 +421,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault-injection spec (shared grammar, per-"
                           "backend dialect): parallel e.g. "
                           "'kill:worker=1,on=write,after=5'; sim e.g. "
-                          "'drop:kind=page,count=2;pe-halt:pe=1,at=500'")
+                          "'drop:kind=page,count=2;pe-halt:pe=1,at=500'; "
+                          "dist e.g. 'node-kill:node=1,on=iter,after=2'")
     run.add_argument("--max-sim-time-us", type=float, default=None,
                      help="sim backend: modeled-time wall; crossing it "
                           "raises a structured LivelockError/PEHaltError "

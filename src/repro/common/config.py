@@ -7,7 +7,26 @@ communication, simulated at the instruction level.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
+
+
+def _require_positive_finite(cfg, names: tuple[str, ...]) -> None:
+    """Reject non-positive, NaN or infinite values for timing knobs.
+
+    A plain ``<= 0`` check silently admits ``float("nan")`` (every
+    comparison with NaN is False), and a NaN poll interval or spin
+    ceiling turns into a supervisor hang instead of an error — so every
+    timing field is held to *positive finite* here.  Raises the same
+    ``ValueError`` shape as the other ``__post_init__`` checks; the
+    ``Backend.run()`` boundary maps it to ``BackendConfigError``.
+    """
+    for name in names:
+        value = getattr(cfg, name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or not math.isfinite(value) or value <= 0:
+            raise ValueError(
+                f"{name} must be a positive finite number, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -136,11 +155,9 @@ class ParallelConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.page_size < 1:
             raise ValueError(f"page_size must be >= 1, got {self.page_size}")
-        for name in ("timeout_s", "poll_interval_s", "grace_s",
-                     "read_timeout_s", "spin_ceiling_s", "retry_backoff_s",
-                     "retry_backoff_max_s"):
-            if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be > 0")
+        _require_positive_finite(self, (
+            "timeout_s", "poll_interval_s", "grace_s", "read_timeout_s",
+            "spin_ceiling_s", "retry_backoff_s", "retry_backoff_max_s"))
         if self.max_retries_per_worker < 0:
             raise ValueError("max_retries_per_worker must be >= 0")
         if self.max_retries_total < 0:
@@ -264,15 +281,115 @@ class SimConfig:
     def __post_init__(self) -> None:
         if self.max_events < 1:
             raise ValueError("max_events must be >= 1")
-        if self.max_sim_time_us is not None and self.max_sim_time_us <= 0:
-            raise ValueError("max_sim_time_us must be > 0")
-        if self.retransmit_timeout_us <= 0:
-            raise ValueError("retransmit_timeout_us must be > 0")
+        if self.max_sim_time_us is not None:
+            _require_positive_finite(self, ("max_sim_time_us",))
         if self.retransmit_budget < 1:
             raise ValueError("retransmit_budget must be >= 1")
-        if self.quiescence_us <= 0:
-            raise ValueError("quiescence_us must be > 0")
+        _require_positive_finite(self, ("retransmit_timeout_us",
+                                        "quiescence_us"))
 
     def with_pes(self, num_pes: int) -> "SimConfig":
         """Return a copy of this config with a different PE count."""
         return replace(self, machine=self.machine.with_pes(num_pes))
+
+
+@dataclass(frozen=True)
+class DistConfig:
+    """Knobs for the distributed (TCP multi-node) backend.
+
+    Attributes:
+        nodes: Node processes (each owns one initial RF identity, like a
+            simulated PE; the wire between them is real TCP).
+        page_size: Elements per array page; remote reads fill a
+            page-grain element cache, as in the paper's Section 4.
+        host: Interface the coordinator and nodes bind.  The built-in
+            spawn helper forks nodes locally, so the default loopback
+            is the supported deployment; the transport itself is
+            host-agnostic.
+        timeout_s: Overall run deadline; nodes still running at the
+            deadline are terminated and the run aborts structurally.
+        poll_interval_s: Coordinator supervision granularity (heartbeat
+            deadline scans, run-deadline checks).
+        connect_timeout_s: How long node registration and peer dialing
+            may take before the run aborts.
+        read_timeout_s: Split-phase remote-read bound; a read whose
+            reply (or local deferred wake) never arrives raises a
+            structured :class:`repro.common.errors.DeferredReadTimeout`
+            after this long — the distributed face of ``deadlock``.
+        heartbeat_interval_s: How often each node heartbeats the
+            coordinator.
+        heartbeat_timeout_s: Silence threshold after which the
+            coordinator declares a node lost (its process may still be
+            running — e.g. a partition — so the node is fenced before
+            its subranges are reassigned).
+        retransmit_timeout_s: How long a reliably-sent frame waits for
+            its ack before the sender retransmits (the wall-clock twin
+            of ``SimConfig.retransmit_timeout_us``).
+        retransmit_budget: Retransmissions allowed per (src, dst)
+            channel before the link is declared dead.
+        reconnect_attempts: Redials allowed per peer connection before
+            the link is declared dead (backoff from the shared
+            :class:`repro.common.retry.RetryPolicy`).
+        recovery: Enable node-loss takeover: a dead node's RF subranges
+            are re-executed by a survivor (idempotently, via
+            presence-bit replay) instead of aborting the run.
+        max_takeovers: Global takeover budget; exhausting it aborts
+            with :class:`repro.common.errors.NodeLossError`.
+        max_retries_per_worker / max_retries_total / retry_backoff_s /
+            retry_backoff_max_s / retry_jitter / seed: The shared retry
+            vocabulary (:class:`repro.common.retry.RetryPolicy`), used
+            for both reconnect pacing and takeover backoff.
+        fault_spec: Fault-injection plan (see :mod:`repro.dist.faults`);
+            ``None`` falls back to the ``PODS_DIST_FAULTS`` environment
+            variable, which is empty in normal operation.
+    """
+
+    nodes: int = 2
+    page_size: int = 32
+    host: str = "127.0.0.1"
+    timeout_s: float = 120.0
+    poll_interval_s: float = 0.05
+    connect_timeout_s: float = 10.0
+    read_timeout_s: float = 30.0
+    heartbeat_interval_s: float = 0.2
+    heartbeat_timeout_s: float = 2.0
+    retransmit_timeout_s: float = 0.25
+    retransmit_budget: int = 16
+    reconnect_attempts: int = 3
+    recovery: bool = True
+    max_takeovers: int = 2
+    max_retries_per_worker: int = 2
+    max_retries_total: int = 8
+    retry_backoff_s: float = 0.05
+    retry_backoff_max_s: float = 2.0
+    retry_jitter: float = 0.25
+    seed: int = 0
+    fault_spec: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {self.page_size}")
+        _require_positive_finite(self, (
+            "timeout_s", "poll_interval_s", "connect_timeout_s",
+            "read_timeout_s", "heartbeat_interval_s", "heartbeat_timeout_s",
+            "retransmit_timeout_s", "retry_backoff_s",
+            "retry_backoff_max_s"))
+        if self.retransmit_budget < 1:
+            raise ValueError("retransmit_budget must be >= 1")
+        if self.reconnect_attempts < 0:
+            raise ValueError("reconnect_attempts must be >= 0")
+        if self.max_takeovers < 0:
+            raise ValueError("max_takeovers must be >= 0")
+        if self.max_retries_per_worker < 0:
+            raise ValueError("max_retries_per_worker must be >= 0")
+        if self.max_retries_total < 0:
+            raise ValueError("max_retries_total must be >= 0")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be >= 0")
+
+    def with_nodes(self, nodes: int) -> "DistConfig":
+        """Return a copy of this config with a different node count."""
+        return replace(self, nodes=nodes)
+

@@ -340,3 +340,46 @@ class ParallelExecutionError(ExecutionError):
         if recovery is not None and getattr(recovery, "events", None):
             message += f"\nrecovery: {recovery.summary()}"
         super().__init__(message)
+
+
+class TransportError(RuntimeFault):
+    """The distributed backend's TCP message layer gave up on a link.
+
+    Raised (or reported as a node-side failure detail) when a
+    per-(src, dst) channel exhausts its retransmit budget or a peer
+    connection exhausts its reconnect budget — the wall-clock analogue
+    of the simulator's :class:`LivelockError` on an unreachable
+    receiver.  Carries the endpoints so a partition reads differently
+    from a crashed peer in the error text.
+    """
+
+    def __init__(self, src: int, dst: int, reason: str) -> None:
+        self.src = src
+        self.dst = dst
+        self.reason = reason
+        super().__init__(f"transport node {src} -> node {dst}: {reason}")
+
+
+class DistExecutionError(ParallelExecutionError):
+    """One or more distributed nodes failed; carries the records.
+
+    Subclasses :class:`ParallelExecutionError` so the shared error
+    taxonomy's detail sniffing (worker-side tracebacks reported as
+    text) classifies node-side program faults — single-assignment,
+    bounds, deferred-read deadlock — to the same codes on the ``dist``
+    backend as everywhere else.  ``failures`` holds one
+    :class:`WorkerFailure` per dead/erroring *node*.
+    """
+
+
+class NodeLossError(DistExecutionError):
+    """A lost node could not be healed by takeover.
+
+    The structured endpoint of the distributed backend's degradation
+    ladder: node loss is first healed by reassigning the dead node's
+    RF subranges to survivors (idempotent presence-bit replay); this
+    error is raised only when that ladder is exhausted — recovery
+    disabled, the global takeover budget spent, or no survivors left.
+    Maps to the ``node-loss`` code of the shared taxonomy.
+    """
+

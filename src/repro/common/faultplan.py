@@ -29,6 +29,7 @@ import os
 
 PARALLEL_ENV_VAR = "PODS_FAULTS"
 SIM_ENV_VAR = "PODS_SIM_FAULTS"
+DIST_ENV_VAR = "PODS_DIST_FAULTS"
 
 
 def split_clauses(spec: str) -> list[tuple[str, str]]:
@@ -106,3 +107,23 @@ def format_spec(clauses: list[tuple[str, dict]]) -> str:
 def spec_from_env(var: str) -> str | None:
     """Read a plan spec from an environment variable (None when unset)."""
     return os.environ.get(var)
+
+
+def parse_from_env(var: str, parse):
+    """Parse the plan in environment variable ``var`` with ``parse``.
+
+    Shared ``from_env`` plumbing for every dialect: the three variables
+    (``PODS_FAULTS``, ``PODS_SIM_FAULTS``, ``PODS_DIST_FAULTS``) carry
+    *different dialects* and must never shadow each other, so each
+    backend reads only its own variable — and when the spec in that
+    variable is malformed (unknown action, unknown key, bad value), the
+    error must say which variable supplied it.  The dialect's own
+    message already names the offending clause; this wrapper prefixes
+    the variable so a chaos soak that exports all three can tell at a
+    glance whose plan is broken.
+    """
+    spec = os.environ.get(var)
+    try:
+        return parse(spec)
+    except ValueError as exc:
+        raise ValueError(f"bad fault plan in {var}={spec!r}: {exc}") from None

@@ -1,0 +1,574 @@
+"""Spawn, supervise and heal a cluster of node processes.
+
+``run_distributed`` is the distributed twin of
+:func:`repro.parallel.executor.run_parallel`: build the graph and the
+partition once, fork one node process per PE (before the asyncio loop
+starts — forking inside a running loop is undefined behaviour), then
+supervise over TCP:
+
+* **registration** — every node dials in, reports its peer-listener
+  port, and receives the full peer map plus the initial owner map;
+* **liveness** — nodes heartbeat on the control link; the coordinator
+  watches heartbeat deadlines *and* process sentinels, so both a
+  silent partition and an outright death surface within one poll
+  interval as a structured :class:`WorkerFailure`;
+* **takeover** — when recovery is on and the global takeover budget
+  allows, a dead node is fenced, its identities are rebound to the
+  lowest-numbered survivor in a new owner-map version broadcast to the
+  cluster, and the survivor re-executes the orphaned Range-Filter
+  subranges after deterministic backoff.  Single assignment makes the
+  replay idempotent: elements other nodes already hold are verified
+  (presence-bit replay), the missing suffix is recomputed.  Reads that
+  were in flight to the dead node are re-issued against the new owner.
+* **degradation ladder** — recovery disabled, budget exhausted, or no
+  survivors raises :class:`~repro.common.errors.NodeLossError`
+  (taxonomy code ``node-loss``); node-side program faults raise
+  :class:`~repro.common.errors.DistExecutionError` with the same
+  detail-sniffing taxonomy as the parallel backend.
+
+Teardown is uniform across success, failure and interrupt: broadcast
+shutdown, then terminate/join every process ever forked and close every
+socket — the chaos driver asserts zero leaked processes, sockets and
+shared-memory segments after every scenario.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing as mp
+import signal
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.config import DistConfig
+from repro.common.errors import (DistExecutionError, NodeLossError,
+                                 WorkerFailure)
+from repro.common.retry import RetryPolicy
+from repro.dist.faults import resolve_dist_plan
+from repro.dist.node import node_main
+from repro.dist.transport import encode_frame, read_frame
+from repro.graph import build_graph
+from repro.lang import ast_nodes as A
+from repro.parallel.executor import WorkerTelemetry, telemetry_registry
+from repro.parallel.recovery import RecoveryEvent, RecoveryLog
+from repro.partitioner import partition
+from repro.runtime.values import ArrayValue
+from repro.sim.reliable import NetStats
+
+_NETSTAT_FIELDS = ("sent", "retransmits", "dropped", "duplicated",
+                   "delayed", "dup_discarded", "acks_sent", "halt_lost")
+
+
+@dataclass
+class DistResult:
+    value: Any
+    wall_time_s: float
+    nodes: int
+    worker_stats: list[WorkerTelemetry] = field(default_factory=list)
+    registry: Any = None  # MetricsRegistry over the node telemetry
+    recovery: RecoveryLog | None = None
+    netstats: NetStats | None = None
+
+    def telemetry_table(self) -> str:
+        """Per-node profile as an aligned text block."""
+        lines = ["node    wall(s)  sh-reads  sh-writes  deferred  "
+                 "max-spin(ms)  rf-subranges"]
+        for t in self.worker_stats:
+            ranges = " ".join(
+                f"{name}[{first}..{last}]" + (f"*{count}" if count > 1
+                                              else "")
+                for name, first, last, _items, count in t.rf_subranges)
+            lines.append(f"{t.worker:>6}  {t.wall_time_s:>7.3f}  "
+                         f"{t.shared_reads:>8}  {t.shared_writes:>9}  "
+                         f"{t.deferred_reads:>8}  "
+                         f"{t.max_spin_wait_s * 1e3:>12.2f}  "
+                         f"{ranges or '-'}")
+        return "\n".join(lines)
+
+    def recovery_table(self) -> str:
+        if self.recovery is None:
+            return "recovery\n--------\n(recovery disabled)"
+        return self.recovery.table()
+
+
+class _Supervisor:
+    """The coordinator's asyncio half: registration through teardown."""
+
+    def __init__(self, cfg: DistConfig, policy: RetryPolicy,
+                 procs: list) -> None:
+        self.cfg = cfg
+        self.policy = policy
+        self.procs = procs
+        self.n = cfg.nodes
+        self.conns: dict[int, asyncio.StreamWriter] = {}
+        self.ports: dict[int, int] = {}
+        self.last_hb: dict[int, float] = {}
+        self.live: set[int] = set(range(self.n))
+        self.owners: list[int] = list(range(self.n))
+        self.remaining: set[int] = set(range(self.n))
+        self.completed: dict[int, dict] = {}
+        self.result_msg: tuple | None = None
+        self.failures: list[WorkerFailure] = []
+        self.fatal_message: str | None = None
+        self.node_loss = False
+        self.rlog = RecoveryLog()
+        self.takeovers_used = 0
+        self.generation = 1
+        # (due monotonic, dead node, identities, generation)
+        self.pending_adopts: list[tuple[float, int, tuple[int, ...],
+                                        int]] = []
+        self.segments: dict[int, Any] = {}
+        self.collect_pending: set[int] = set()
+        self.byes: dict[int, dict] = {}
+        self.finishing = False
+        self.kick = asyncio.Event()
+        self.t0 = time.monotonic()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.server = None
+
+    def t(self) -> float:
+        return time.monotonic() - self.t0
+
+    # -- entry -----------------------------------------------------------
+
+    async def run(self, lsock: socket.socket,
+                  t_start: float) -> DistResult:
+        loop = asyncio.get_running_loop()
+        self.server = await asyncio.start_server(self._accept, sock=lsock)
+        watched = []
+        for node, proc in enumerate(self.procs):
+            loop.add_reader(proc.sentinel, self._sentinel_fired, node)
+            watched.append(proc.sentinel)
+        try:
+            await self._registration()
+            self._broadcast_start()
+            await self._supervise()
+            if self.failures:
+                raise self._build_error()
+            value = await self._finish_value()
+            await self._graceful_shutdown()
+            return self._build_result(value, t_start)
+        finally:
+            for sentinel in watched:
+                try:
+                    loop.remove_reader(sentinel)
+                except Exception:
+                    pass
+            for task in list(self._conn_tasks):
+                task.cancel()
+            for writer in self.conns.values():
+                try:
+                    writer.transport.abort()
+                except Exception:
+                    pass
+            self.server.close()
+            try:
+                await self.server.wait_closed()
+            except Exception:
+                pass
+            await asyncio.sleep(0)  # let transports actually close
+
+    # -- phases ----------------------------------------------------------
+
+    async def _registration(self) -> None:
+        deadline = time.monotonic() + self.cfg.connect_timeout_s
+        while len(self.conns) < self.n:
+            if self.failures:
+                raise self._build_error()
+            if time.monotonic() > deadline:
+                missing = sorted(set(range(self.n)) - set(self.conns))
+                raise DistExecutionError(
+                    f"distributed run failed: node registration timed "
+                    f"out after {self.cfg.connect_timeout_s:g}s "
+                    f"(missing nodes {missing})",
+                    [WorkerFailure(node, exitcode=None, kind="lost",
+                                   detail="never registered with the "
+                                          "coordinator")
+                     for node in missing],
+                    recovery=self.rlog)
+            await self._wait_kick()
+
+    def _broadcast_start(self) -> None:
+        peers = {str(node): [self.cfg.host, self.ports[node]]
+                 for node in range(self.n)}
+        self._broadcast({"t": "start", "peers": peers,
+                         "owners": self.owners,
+                         "live": sorted(self.live)})
+
+    async def _supervise(self) -> None:
+        deadline = time.monotonic() + self.cfg.timeout_s
+        while True:
+            if self.failures:
+                return
+            if not self.remaining:
+                if self.result_msg is not None:
+                    return
+                self.failures.append(WorkerFailure(
+                    0, exitcode=None, kind="lost",
+                    detail="no result message received"))
+                self.fatal_message = ("node 0 completed without "
+                                      "producing a result")
+                return
+            now = time.monotonic()
+            due = [a for a in self.pending_adopts if a[0] <= now]
+            if due:
+                self.pending_adopts = [a for a in self.pending_adopts
+                                       if a[0] > now]
+                for _, dead, idents, generation in due:
+                    self._fire_adopt(dead, idents, generation)
+                continue
+            for node in sorted(self.live):
+                hb = self.last_hb.get(node)
+                if hb is not None and \
+                        now - hb > self.cfg.heartbeat_timeout_s:
+                    self._on_node_loss(
+                        node, kind="lost", exitcode=None,
+                        detail=f"heartbeat silence for "
+                               f"{now - hb:.2f}s (threshold "
+                               f"{self.cfg.heartbeat_timeout_s:g}s)")
+            if now > deadline:
+                for node in sorted(self.live):
+                    if not self.remaining.intersection(
+                            i for i in range(self.n)
+                            if self.owners[i] == node):
+                        continue
+                    self.failures.append(WorkerFailure(
+                        node, exitcode=None, kind="hang",
+                        detail=f"still running at the "
+                               f"{self.cfg.timeout_s:g}s deadline; "
+                               "terminated",
+                        generation=self.generation))
+                for _, _, idents, generation in self.pending_adopts:
+                    self.failures.append(WorkerFailure(
+                        min(idents), exitcode=None, kind="hang",
+                        detail="takeover still pending at the run "
+                               "deadline",
+                        generation=generation))
+                self.pending_adopts.clear()
+                return
+            await self._wait_kick()
+
+    async def _finish_value(self) -> Any:
+        status, payload = self.result_msg
+        if status != "array":
+            return payload
+        seq, dims = payload[0], tuple(payload[1])
+        self.segments = {}
+        self.collect_pending = set(self.live)
+        self._broadcast({"t": "collect", "a": seq})
+        deadline = time.monotonic() + self.cfg.connect_timeout_s
+        while self.collect_pending:
+            if time.monotonic() > deadline:
+                raise DistExecutionError(
+                    f"distributed run failed: array collect timed out "
+                    f"(nodes {sorted(self.collect_pending)} silent)",
+                    [WorkerFailure(node, exitcode=None, kind="hang",
+                                   detail="did not answer the collect "
+                                          "request")
+                     for node in sorted(self.collect_pending)],
+                    recovery=self.rlog)
+            await self._wait_kick()
+        total = 1
+        for d in dims:
+            total *= d
+        flat = [self.segments.get(i) for i in range(total)]
+        return ArrayValue(dims, flat)
+
+    async def _graceful_shutdown(self) -> None:
+        self.finishing = True
+        expected = set(self.live)
+        self._broadcast({"t": "shutdown"})
+        deadline = time.monotonic() + max(1.0,
+                                          10 * self.cfg.poll_interval_s)
+        while set(self.byes) < expected and time.monotonic() < deadline:
+            await self._wait_kick()
+
+    # -- connections -----------------------------------------------------
+
+    async def _accept(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            hello = await read_frame(reader)
+            if not hello or hello.get("t") != "hello":
+                writer.close()
+                return
+            node = hello["node"]
+            self.conns[node] = writer
+            self.ports[node] = hello["port"]
+            self.last_hb[node] = time.monotonic()
+            self.kick.set()
+            while True:
+                msg = await read_frame(reader)
+                if msg is None:
+                    return  # death shows up via sentinel/heartbeat
+                self._on_msg(node, msg)
+        except asyncio.CancelledError:
+            # Teardown cancellation: end the handler quietly, or the
+            # stream server's done-callback logs a spurious traceback.
+            pass
+
+    def _on_msg(self, node: int, msg: dict) -> None:
+        t = msg.get("t")
+        if t == "hb":
+            self.last_hb[node] = time.monotonic()
+            return
+        if node not in self.live and t != "bye":
+            return  # fenced zombie
+        if t == "done":
+            self.completed[msg["slot"]] = msg["telemetry"]
+            self.remaining.difference_update(msg["identities"])
+        elif t == "result":
+            status, payload = msg["v"]
+            self.result_msg = (status, payload)
+        elif t == "err":
+            self.failures.append(WorkerFailure(
+                msg.get("slot", node), exitcode=None, kind="error",
+                detail=msg["detail"], generation=msg.get("gen", 1)))
+            self.fatal_message = (f"node {node} reported a program "
+                                  "error")
+        elif t == "peer-lost":
+            peer = msg["peer"]
+            if peer in self.live:
+                self._on_node_loss(
+                    peer, kind="lost", exitcode=None,
+                    detail=f"unreachable from node {node}: "
+                           f"{msg.get('detail', '')}")
+        elif t == "segment":
+            for key, value in msg["vals"].items():
+                self.segments[int(key)] = value
+            self.collect_pending.discard(node)
+        elif t == "bye":
+            self.byes[node] = msg.get("netstats") or {}
+        self.kick.set()
+
+    def _sentinel_fired(self, node: int) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            loop.remove_reader(self.procs[node].sentinel)
+        except Exception:
+            pass
+        if self.finishing or node not in self.live:
+            self.kick.set()
+            return
+        exitcode = self.procs[node].exitcode
+        kind = "lost" if exitcode == 0 else "crash"
+        self._on_node_loss(node, kind=kind, exitcode=exitcode,
+                           detail="process exited "
+                                  f"(exitcode {exitcode})")
+
+    # -- node loss and takeover ------------------------------------------
+
+    def _on_node_loss(self, node: int, kind: str, exitcode,
+                      detail: str) -> None:
+        if self.finishing or node not in self.live:
+            return
+        self.live.discard(node)
+        failure = WorkerFailure(node, exitcode=exitcode, kind=kind,
+                                detail=detail,
+                                generation=self.generation)
+        self.rlog.record(RecoveryEvent(
+            self.t(), "failure", node, self.generation,
+            detail=f"{kind} "
+                   f"(exitcode {'?' if exitcode is None else exitcode})"
+                   f": {detail}"))
+        writer = self.conns.get(node)
+        if writer is not None:
+            try:
+                writer.write(encode_frame({"t": "fence"}))
+            except Exception:
+                pass
+        idents = tuple(i for i in range(self.n)
+                       if self.owners[i] == node)
+        self.kick.set()
+        if not self.policy.enabled:
+            self.failures.append(failure)
+            self.fatal_message = (f"node {node} lost and recovery is "
+                                  "disabled")
+            self.node_loss = True
+            return
+        if self.takeovers_used >= self.cfg.max_takeovers:
+            self.failures.append(failure)
+            self.fatal_message = (f"takeover budget exhausted "
+                                  f"({self.cfg.max_takeovers})")
+            self.node_loss = True
+            self.rlog.record(RecoveryEvent(
+                self.t(), "exhausted", node, self.generation,
+                detail=f"{self.cfg.max_takeovers} takeover(s) used"))
+            return
+        if not self.live:
+            self.failures.append(failure)
+            self.fatal_message = (f"node {node} lost; no survivor to "
+                                  "take over")
+            self.node_loss = True
+            return
+        self.takeovers_used += 1
+        self.generation += 1
+        delay = self.policy.backoff_s(node, self.takeovers_used)
+        # Re-run every identity the dead node owned — even completed
+        # ones, because its element store died with it.
+        self.remaining.update(idents)
+        self.pending_adopts.append(
+            (time.monotonic() + delay, node, idents, self.generation))
+        self.rlog.record(RecoveryEvent(
+            self.t(), "takeover", min(idents) if idents else node,
+            self.generation,
+            detail=(f"identities {idents} orphaned by node {node} "
+                    f"({kind}); survivors {sorted(self.live)}"),
+            dur_s=delay))
+
+    def _fire_adopt(self, dead: int, idents: tuple[int, ...],
+                    generation: int) -> None:
+        survivors = sorted(self.live)
+        if not survivors:
+            self.failures.append(WorkerFailure(
+                dead, exitcode=None, kind="lost",
+                detail="no survivor left to adopt its identities",
+                generation=generation))
+            self.fatal_message = "no survivor to take over"
+            self.node_loss = True
+            self.kick.set()
+            return
+        target = survivors[0]
+        for ident in idents:
+            self.owners[ident] = target
+        self._broadcast({"t": "ownermap", "owners": self.owners,
+                         "live": survivors})
+        self._send(target, {"t": "adopt", "identities": list(idents),
+                            "generation": generation,
+                            "slot": min(idents) if idents else target})
+
+    # -- error / result assembly -----------------------------------------
+
+    def _build_error(self) -> DistExecutionError:
+        if self.fatal_message is not None:
+            message = f"distributed run failed: {self.fatal_message}"
+        else:
+            hung = [f.worker for f in self.failures if f.kind == "hang"]
+            if hung and len(hung) == len(self.failures):
+                message = (f"distributed run timed out after "
+                           f"{self.cfg.timeout_s:g}s; unjoined nodes: "
+                           f"{hung}")
+            else:
+                message = (f"distributed run failed: "
+                           f"{len(self.failures)} node failure(s) were "
+                           "not recoverable")
+        cls = NodeLossError if self.node_loss else DistExecutionError
+        return cls(message, self.failures, recovery=self.rlog)
+
+    def _build_result(self, value: Any, t_start: float) -> DistResult:
+        wall = time.perf_counter() - t_start
+        stats = [WorkerTelemetry.from_dict(w, self.completed.get(w, {}))
+                 for w in range(self.n)]
+        self.rlog.replayed_elements = sum(s.replayed_present
+                                          for s in stats)
+        registry = telemetry_registry(stats, spin_cause="remote-read")
+        self.rlog.to_registry(registry)
+        netstats = NetStats()
+        for counters in self.byes.values():
+            for name in _NETSTAT_FIELDS:
+                setattr(netstats, name,
+                        getattr(netstats, name) + int(counters.get(name,
+                                                                   0)))
+        return DistResult(value=value, wall_time_s=wall, nodes=self.n,
+                          worker_stats=stats, registry=registry,
+                          recovery=self.rlog, netstats=netstats)
+
+    # -- plumbing --------------------------------------------------------
+
+    async def _wait_kick(self) -> None:
+        try:
+            await asyncio.wait_for(self.kick.wait(),
+                                   self.cfg.poll_interval_s)
+        except asyncio.TimeoutError:
+            pass
+        self.kick.clear()
+
+    def _send(self, node: int, msg: dict) -> None:
+        writer = self.conns.get(node)
+        if writer is None:
+            return
+        try:
+            writer.write(encode_frame(msg))
+        except Exception:
+            pass
+
+    def _broadcast(self, msg: dict) -> None:
+        for node in sorted(self.live):
+            self._send(node, msg)
+
+
+def run_distributed(program_ast: A.Program, args: tuple = (),
+                    nodes: int = 2, entry: str = "main",
+                    page_size: int = 32, timeout_s: float = 120.0,
+                    config: DistConfig | None = None,
+                    faults=None) -> DistResult:
+    """Execute ``program_ast`` across supervised TCP-connected nodes.
+
+    Node-loss recovery (heartbeat detection, fencing, identity takeover
+    with presence-bit replay) heals up to ``config.max_takeovers``
+    failures when ``config.recovery`` is on; past the budget — or with
+    recovery off, or with no survivors — the run aborts with
+    :class:`NodeLossError`.  Node-side program faults abort with
+    :class:`DistExecutionError` carrying per-node
+    :class:`WorkerFailure` records and the :class:`RecoveryLog`; a
+    partial result is never returned.  ``faults`` takes a spec string
+    or :class:`~repro.dist.faults.DistFaultPlan` (``None`` defers to
+    ``config.fault_spec``, then ``PODS_DIST_FAULTS``).
+    """
+    cfg = config or DistConfig(nodes=nodes, page_size=page_size,
+                               timeout_s=timeout_s)
+    plan = resolve_dist_plan(faults if faults is not None
+                             else cfg.fault_spec)
+    policy = RetryPolicy.from_config(cfg)
+
+    graph = build_graph(program_ast, entry=entry)
+    partition(graph)
+
+    def _sigterm(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        prev_handler = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread
+        prev_handler = None
+
+    lsock = socket.create_server((cfg.host, 0), backlog=cfg.nodes + 4)
+    port = lsock.getsockname()[1]
+    ctx = mp.get_context("fork")
+    procs: list = []
+    t_start = time.perf_counter()
+    try:
+        # Fork every node before the asyncio loop exists: a fork taken
+        # inside a running loop inherits broken loop state.
+        for node in range(cfg.nodes):
+            proc = ctx.Process(
+                target=node_main,
+                args=(program_ast, graph, node, cfg.nodes, cfg.host,
+                      port, cfg, entry, tuple(args), plan))
+            proc.start()
+            procs.append(proc)
+        supervisor = _Supervisor(cfg, policy, procs)
+        return asyncio.run(supervisor.run(lsock, t_start))
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - terminate refused
+                proc.kill()
+                proc.join()
+        try:
+            lsock.close()
+        except OSError:
+            pass
+        if prev_handler is not None:
+            try:
+                signal.signal(signal.SIGTERM, prev_handler)
+            except ValueError:  # pragma: no cover
+                pass

@@ -1,0 +1,321 @@
+"""Framed, reliable TCP transport between node processes.
+
+Wire format: every frame is a 4-byte big-endian length prefix followed
+by one UTF-8 JSON object.  Three frame classes cross the peer wire:
+
+* ``data`` — ``{"t": "data", "src": n, "seq": k, "m": payload}``; the
+  reliable class.  Each (src, dst) pair is a sequence-numbered channel:
+  the sender keeps every frame until acked and retransmits on a timer,
+  the receiver acks every copy and delivers each sequence number exactly
+  once.  The channel bookkeeping (and its :class:`NetStats` counters) is
+  :mod:`repro.sim.reliable`'s — the simulator proved the protocol in
+  modeled time; this module runs the same state machine on a real wire.
+* ``ack`` — ``{"t": "ack", "src": n, "seq": k}``; fire-and-forget (a
+  lost ack is healed by sender retransmission, never by ack-of-ack).
+* ``peer-hello`` — connection preamble naming the dialing node.
+
+TCP already gives in-order reliable bytes *per connection*; the
+sequence/ack/dedup layer is what makes delivery survive the connection
+itself failing — a reconnect (budgeted redials with the shared
+:class:`repro.common.retry.RetryPolicy` backoff) simply replays the
+unacked window, and the receiver's dedup set absorbs any overlap.
+At-least-once plus receiver dedup plus single-assignment stores is the
+same Church-Rosser argument the simulator's chaos tests pin down.
+
+Fault injection (:mod:`repro.dist.faults`) sits at the transmit
+boundary, *below* the reliability layer: injected drops and delays
+apply to retransmissions too, so a healed partition is healed by real
+retransmissions.  When a channel's retransmit budget or a connection's
+redial budget is exhausted the peer is declared lost — the transport
+reports it and stops trying; deciding whether that is a takeover or a
+structured abort is the coordinator's job, not the socket layer's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import time
+
+from repro.sim.reliable import NetStats, ReliableNet
+
+# The coordinator's address on the control link (nodes are >= 0).
+COORD = -1
+
+_HEADER = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One wire frame: length prefix + compact JSON."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise ValueError(f"frame length {length} exceeds {_MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    return json.loads(body.decode("utf-8"))
+
+
+class Endpoint:
+    """One node's peer-facing transport: listener + reliable channels.
+
+    Lives entirely on the node's asyncio loop.  ``send`` enqueues a
+    reliable data frame; ``on_message(src, payload)`` fires exactly once
+    per delivered payload; ``on_peer_lost(peer, reason)`` fires when a
+    channel or connection budget is exhausted.  Peers fenced by the
+    coordinator are ``forget``-ten: their channels drain and further
+    sends become no-ops.
+    """
+
+    def __init__(self, node: int, cfg, policy, injector,
+                 on_message, on_peer_lost) -> None:
+        self.node = node
+        self.cfg = cfg
+        self.policy = policy
+        self.injector = injector
+        self.on_message = on_message
+        self.on_peer_lost = on_peer_lost
+        self.net = ReliableNet()
+        self.peers: dict[int, tuple[str, int]] = {}
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._dialing: dict[int, asyncio.Future] = {}
+        self._lost: set[int] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._retransmit_task: asyncio.Task | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._closed = False
+
+    @property
+    def stats(self) -> NetStats:
+        return self.net.stats
+
+    async def start(self, host: str) -> int:
+        """Bind the peer listener; returns the ephemeral port."""
+        self._server = await asyncio.start_server(self._accept, host, 0)
+        self._retransmit_task = asyncio.ensure_future(
+            self._retransmit_loop())
+        return self._server.sockets[0].getsockname()[1]
+
+    def set_peers(self, peers: dict[int, tuple[str, int]]) -> None:
+        self.peers = dict(peers)
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, dst: int, payload: dict) -> None:
+        """Reliably send ``payload`` to peer ``dst`` (loop context)."""
+        if dst in self._lost or self._closed or dst == self.node:
+            return
+        seq = self.net.assign(self.node, dst, None, time.monotonic())
+        frame = {"t": "data", "src": self.node, "seq": seq, "m": payload}
+        self.net.channel(self.node, dst).unacked[seq][0] = frame
+        self._spawn(self._transmit(dst, frame, "data"))
+
+    async def _transmit(self, dst: int, frame: dict, kind: str) -> None:
+        drop, delay_s = self.injector.decide_frame(dst, kind)
+        if drop:
+            self.net.stats.dropped += 1
+            return
+        if delay_s:
+            self.net.stats.delayed += 1
+            await asyncio.sleep(delay_s)
+        writer = await self._ensure_conn(dst)
+        if writer is None:
+            return
+        try:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # Next retransmit scan redials and replays the window.
+            if self._writers.get(dst) is writer:
+                self._writers.pop(dst, None)
+
+    async def _ensure_conn(self, dst: int):
+        if dst in self._lost or self._closed:
+            return None
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        fut = self._dialing.get(dst)
+        if fut is None:
+            fut = self._dialing[dst] = asyncio.ensure_future(
+                self._dial(dst))
+            fut.add_done_callback(
+                lambda f, d=dst: self._dialing.pop(d, None))
+        return await asyncio.shield(fut)
+
+    async def _dial(self, dst: int):
+        host, port = self.peers[dst]
+        attempts = max(1, self.cfg.reconnect_attempts)
+        for attempt in range(1, attempts + 1):
+            if self._closed or dst in self._lost:
+                return None
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port),
+                    self.cfg.connect_timeout_s)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                if attempt < attempts:
+                    await asyncio.sleep(self.policy.backoff_s(dst, attempt))
+                continue
+            writer.write(encode_frame({"t": "peer-hello",
+                                       "src": self.node}))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                continue
+            self._writers[dst] = writer
+            self._spawn(self._read_conn(reader, writer))
+            return writer
+        self._declare_lost(
+            dst, f"reconnect budget exhausted ({attempts} attempts)")
+        return None
+
+    # -- receiving -------------------------------------------------------
+
+    async def _accept(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._read_conn(reader, writer)
+        except asyncio.CancelledError:
+            # Teardown cancellation: end the handler quietly, or the
+            # stream server's done-callback logs a spurious traceback.
+            pass
+
+    async def _read_conn(self, reader, writer) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                t = frame.get("t")
+                if t == "data":
+                    src = frame["src"]
+                    seq = frame["seq"]
+                    first = self.net.on_deliver(src, self.node, seq)
+                    self._spawn(self._send_ack(src, seq, writer))
+                    if first:
+                        self.on_message(src, frame["m"])
+                elif t == "ack":
+                    self.net.on_ack(self.node, frame["src"], frame["seq"])
+                # peer-hello and anything else: preamble/no-op.
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _send_ack(self, src: int, seq: int, writer) -> None:
+        drop, delay_s = self.injector.decide_frame(src, "ack")
+        if drop:
+            self.net.stats.dropped += 1
+            return
+        if delay_s:
+            self.net.stats.delayed += 1
+            await asyncio.sleep(delay_s)
+        self.net.stats.acks_sent += 1
+        try:
+            writer.write(encode_frame({"t": "ack", "src": self.node,
+                                       "seq": seq}))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # the sender's retransmission will re-trigger an ack
+
+    # -- retransmission --------------------------------------------------
+
+    async def _retransmit_loop(self) -> None:
+        interval = max(self.cfg.retransmit_timeout_s / 2, 0.01)
+        while not self._closed:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for (src, dst), ch in list(self.net.channels.items()):
+                if src != self.node or not ch.unacked:
+                    continue
+                if dst in self._lost:
+                    ch.unacked.clear()
+                    continue
+                for seq in sorted(ch.unacked):
+                    entry = ch.unacked.get(seq)
+                    if entry is None:
+                        continue
+                    frame, last_send, retries = entry
+                    if now - last_send < self.cfg.retransmit_timeout_s:
+                        continue
+                    if retries >= self.cfg.retransmit_budget:
+                        self._declare_lost(
+                            dst,
+                            f"retransmit budget exhausted (seq {seq} "
+                            f"unacked after {retries} resends)")
+                        break
+                    entry[1] = now
+                    entry[2] = retries + 1
+                    ch.retransmits += 1
+                    self.net.stats.retransmits += 1
+                    self._spawn(self._transmit(dst, frame, "data"))
+
+    # -- peer lifecycle --------------------------------------------------
+
+    def forget(self, peer: int) -> None:
+        """Stop talking to a fenced/dead peer (no loss callback)."""
+        self._lost.add(peer)
+        ch = self.net.channels.get((self.node, peer))
+        if ch is not None:
+            ch.unacked.clear()
+        writer = self._writers.pop(peer, None)
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _declare_lost(self, peer: int, reason: str) -> None:
+        if peer in self._lost:
+            return
+        self.forget(peer)
+        self.on_peer_lost(peer, reason)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _spawn(self, coro) -> None:
+        if self._closed:
+            coro.close()
+            return
+        task = asyncio.ensure_future(coro)
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._retransmit_task is not None:
+            self._retransmit_task.cancel()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        for writer in list(self._writers.values()):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+        await asyncio.sleep(0)  # let cancellations run

@@ -134,7 +134,8 @@ class WorkerTelemetry:
         )
 
 
-def telemetry_registry(worker_stats: list[WorkerTelemetry]) -> "MetricsRegistry":
+def telemetry_registry(worker_stats: list[WorkerTelemetry],
+                       spin_cause: str = "istructure-defer") -> "MetricsRegistry":
     """Fold per-worker telemetry into one :class:`MetricsRegistry`.
 
     The semantic metric families (``rf.*``, ``array.*``) use the same
@@ -143,6 +144,11 @@ def telemetry_registry(worker_stats: list[WorkerTelemetry]) -> "MetricsRegistry"
     differential test can assert that e.g. Range-Filter subranges agree
     between backends by comparing registry rows directly.  Workers map
     onto the ``pe`` label — the backend's wall-clock counterpart.
+
+    ``spin_cause`` labels the blocked-read wait rows: this backend's
+    spins are I-structure defers on shared memory; the distributed
+    backend reuses the fold with ``remote-read`` (its blocked reads are
+    split-phase network reads — see the WAIT vocabulary in ObsConfig).
     """
     from repro.obs.registry import MetricsRegistry
 
@@ -161,7 +167,7 @@ def telemetry_registry(worker_stats: list[WorkerTelemetry]) -> "MetricsRegistry"
         # absent shared-array element is the wall-clock counterpart of
         # the simulator's istructure-defer wait.
         reg.set_gauge("wait.us", t.spin_wait_s * 1e6, pe=pe,
-                      cause="istructure-defer")
+                      cause=spin_cause)
         for name, first, last, items, count in t.rf_subranges:
             reg.inc("rf.subrange", count, pe=pe, block=name,
                     first=first, last=last)

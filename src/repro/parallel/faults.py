@@ -122,13 +122,20 @@ class FaultPlan:
             kwargs = faultplan.parse_clause_args(argstr, _SCHEMA, clause)
             if "worker" not in kwargs:
                 raise ValueError(f"fault {clause!r} needs worker=<k>")
-            faults.append(Fault(action=action, **kwargs))
+            try:
+                faults.append(Fault(action=action, **kwargs))
+            except ValueError as exc:
+                # Name the offending clause: an unknown action or a bad
+                # qualifier combination must be findable in a multi-
+                # clause spec (and, via from_env, in the env variable).
+                raise ValueError(
+                    f"bad fault clause {clause!r}: {exc}") from None
         return FaultPlan(tuple(faults))
 
     @staticmethod
     def from_env() -> "FaultPlan":
-        return FaultPlan.parse(
-            faultplan.spec_from_env(faultplan.PARALLEL_ENV_VAR))
+        return faultplan.parse_from_env(faultplan.PARALLEL_ENV_VAR,
+                                        FaultPlan.parse)
 
 
 def resolve_plan(faults) -> FaultPlan:

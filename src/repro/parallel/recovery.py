@@ -14,7 +14,9 @@ This module holds the two passive pieces; the supervisor in
 * :class:`RetryPolicy` — how many times to respawn, with what backoff.
   Jitter is derived deterministically from ``(seed, worker, attempt)``
   so recovery schedules are reproducible run-to-run, matching the
-  repo-wide determinism discipline.
+  repo-wide determinism discipline.  The implementation now lives in
+  :mod:`repro.common.retry` (it is shared with the distributed
+  backend's transport); this module re-exports it.
 * :class:`RecoveryLog` — what actually happened: an ordered event list
   (respawns, takeovers, stall reports, supersessions), aggregate
   counters, and exporters into the shared
@@ -38,10 +40,14 @@ Escalation ladder (implemented by the supervisor):
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 
-from repro.common.config import ParallelConfig
+# Re-export shim: RetryPolicy moved to repro.common.retry so the
+# supervisor here and the distributed backend's transport share one
+# budget implementation.  Importing it from this module keeps working.
+from repro.common.retry import RetryPolicy
+
+__all__ = ["EVENT_KINDS", "RecoveryEvent", "RecoveryLog", "RetryPolicy"]
 
 # Event kinds recorded by the supervisor, in the order they typically
 # appear.  ``failure`` covers every WorkerFailure observed (including
@@ -51,54 +57,6 @@ from repro.common.config import ParallelConfig
 # marks a worker whose per-identity retry budget ran out.
 EVENT_KINDS = ("failure", "respawn", "takeover", "stall", "superseded",
                "exhausted")
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Respawn limits and backoff schedule for worker recovery.
-
-    ``backoff_s(worker, attempt)`` grows exponentially with ``attempt``
-    (1-based), capped at ``backoff_max_s``, then widened by up to
-    ``jitter`` fraction.  The jitter term hashes ``(seed, worker,
-    attempt)`` — deterministic, but de-synchronised across workers so a
-    correlated failure (e.g. the machine paging) does not produce a
-    thundering herd of simultaneous respawns.
-    """
-
-    max_retries_per_worker: int = 2
-    max_retries_total: int = 8
-    backoff_base_s: float = 0.05
-    backoff_factor: float = 2.0
-    backoff_max_s: float = 2.0
-    jitter: float = 0.25
-    seed: int = 0
-    enabled: bool = True
-
-    @staticmethod
-    def from_config(cfg: ParallelConfig) -> "RetryPolicy":
-        return RetryPolicy(
-            max_retries_per_worker=cfg.max_retries_per_worker,
-            max_retries_total=cfg.max_retries_total,
-            backoff_base_s=cfg.retry_backoff_s,
-            backoff_max_s=cfg.retry_backoff_max_s,
-            jitter=cfg.retry_jitter,
-            seed=cfg.seed,
-            enabled=cfg.recovery,
-        )
-
-    def backoff_s(self, worker: int, attempt: int) -> float:
-        """Delay before the ``attempt``-th respawn (1-based) of ``worker``."""
-        if attempt < 1:
-            raise ValueError(f"attempt must be >= 1, got {attempt}")
-        base = min(self.backoff_max_s,
-                   self.backoff_base_s * self.backoff_factor ** (attempt - 1))
-        return base * (1.0 + self.jitter * self._unit(worker, attempt))
-
-    def _unit(self, worker: int, attempt: int) -> float:
-        """Deterministic uniform-ish value in [0, 1) from the run seed."""
-        h = hashlib.blake2b(f"{self.seed}:{worker}:{attempt}".encode(),
-                            digest_size=8).digest()
-        return int.from_bytes(h, "big") / 2 ** 64
 
 
 @dataclass(frozen=True)

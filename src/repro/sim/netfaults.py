@@ -140,13 +140,17 @@ class SimFaultPlan:
         for action, argstr in faultplan.split_clauses(spec):
             clause = f"{action}:{argstr}" if argstr else action
             kwargs = faultplan.parse_clause_args(argstr, _SCHEMA, clause)
-            faults.append(NetFault(action=action, **kwargs))
+            try:
+                faults.append(NetFault(action=action, **kwargs))
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault clause {clause!r}: {exc}") from None
         return SimFaultPlan(tuple(faults))
 
     @staticmethod
     def from_env() -> "SimFaultPlan":
-        return SimFaultPlan.parse(
-            faultplan.spec_from_env(faultplan.SIM_ENV_VAR))
+        return faultplan.parse_from_env(faultplan.SIM_ENV_VAR,
+                                        SimFaultPlan.parse)
 
 
 def resolve_sim_plan(faults) -> SimFaultPlan:

@@ -11,6 +11,7 @@ syntax-compatible and keep their environment variables distinct.
 import pytest
 
 from repro.common import faultplan
+from repro.dist.faults import DistFaultPlan, resolve_dist_plan
 from repro.parallel.faults import Fault, FaultPlan, resolve_plan
 from repro.sim.netfaults import SimFaultPlan, resolve_sim_plan
 
@@ -59,8 +60,10 @@ class TestParseClauseArgs:
 
 class TestEnvHandling:
     def test_distinct_variables(self):
-        # One chaos soak must not poison the other backend's runs.
-        assert faultplan.PARALLEL_ENV_VAR != faultplan.SIM_ENV_VAR
+        # One chaos soak must not poison the other backends' runs.
+        names = {faultplan.PARALLEL_ENV_VAR, faultplan.SIM_ENV_VAR,
+                 faultplan.DIST_ENV_VAR}
+        assert len(names) == 3
 
     def test_spec_from_env(self, monkeypatch):
         monkeypatch.delenv(faultplan.SIM_ENV_VAR, raising=False)
@@ -80,31 +83,86 @@ class TestEnvHandling:
     def test_sim_resolve_reads_pods_sim_faults(self, monkeypatch):
         monkeypatch.setenv(faultplan.SIM_ENV_VAR, "drop:kind=page")
         monkeypatch.delenv(faultplan.PARALLEL_ENV_VAR, raising=False)
+        monkeypatch.delenv(faultplan.DIST_ENV_VAR, raising=False)
         plan = resolve_sim_plan(None)
         assert [f.action for f in plan.faults] == ["drop"]
         assert not resolve_plan(None)
+        assert not resolve_dist_plan(None)
+
+    def test_dist_resolve_reads_pods_dist_faults(self, monkeypatch):
+        monkeypatch.setenv(faultplan.DIST_ENV_VAR,
+                           "node-kill:node=1,on=iter")
+        monkeypatch.delenv(faultplan.PARALLEL_ENV_VAR, raising=False)
+        monkeypatch.delenv(faultplan.SIM_ENV_VAR, raising=False)
+        plan = resolve_dist_plan(None)
+        assert [f.action for f in plan.faults] == ["node-kill"]
+        # The other dialects do not see the dist variable.
+        assert not resolve_plan(None)
+        assert not resolve_sim_plan(None)
+
+    def test_dist_ignores_other_dialect_variables(self, monkeypatch):
+        # A parallel kill soak and a sim drop soak in the environment
+        # must not shadow (or break) a healthy distributed run: the
+        # parallel vocabulary ('kill:worker=') does not even parse as
+        # a dist clause, so shadowing would be a hard failure.
+        monkeypatch.setenv(faultplan.PARALLEL_ENV_VAR, "kill:worker=1")
+        monkeypatch.setenv(faultplan.SIM_ENV_VAR, "drop:kind=page")
+        monkeypatch.delenv(faultplan.DIST_ENV_VAR, raising=False)
+        assert not resolve_dist_plan(None)
+
+    @pytest.mark.parametrize("var,resolve,clause", [
+        ("PARALLEL_ENV_VAR", resolve_plan, "kill:bogus=1"),
+        ("SIM_ENV_VAR", resolve_sim_plan, "drop:bogus=1"),
+        ("DIST_ENV_VAR", resolve_dist_plan, "node-kill:bogus=1"),
+    ])
+    def test_env_error_names_clause_and_variable(self, monkeypatch,
+                                                 var, resolve, clause):
+        """A broken spec in any dialect's variable raises an error
+        naming both the offending clause and the variable it came
+        from, so a poisoned environment is diagnosable at a glance."""
+        env_var = getattr(faultplan, var)
+        monkeypatch.setenv(env_var, clause)
+        with pytest.raises(ValueError) as excinfo:
+            resolve(None)
+        msg = str(excinfo.value)
+        assert env_var in msg
+        assert clause in msg
+
+    @pytest.mark.parametrize("parse,clause", [
+        (FaultPlan.parse, "explode:worker=1"),
+        (SimFaultPlan.parse, "explode:kind=page"),
+        (DistFaultPlan.parse, "explode:node=1"),
+    ])
+    def test_unknown_action_names_clause(self, parse, clause):
+        with pytest.raises(ValueError, match="explode"):
+            parse(clause)
 
 
 class TestDialectsShareSyntax:
     """The same spec shapes parse on both sides (vocabulary differs)."""
 
-    def test_both_accept_multi_clause_specs(self):
+    def test_all_accept_multi_clause_specs(self):
         par = FaultPlan.parse("kill:worker=1,after=3;hang:worker=0")
         sim = SimFaultPlan.parse("drop:kind=page,after=3;dup:src=0")
+        dist = DistFaultPlan.parse(
+            "drop:kind=data,count=2;node-kill:node=1,on=write")
         assert len(par.faults) == 2
         assert len(sim.faults) == 2
+        assert len(dist.faults) == 2
 
-    def test_both_reject_unknown_keys(self):
+    def test_all_reject_unknown_keys(self):
         with pytest.raises(ValueError, match="unknown fault key"):
             FaultPlan.parse("kill:worker=1,kind=page")
         with pytest.raises(ValueError, match="unknown fault key"):
             SimFaultPlan.parse("drop:worker=1")
+        with pytest.raises(ValueError, match="unknown fault key"):
+            DistFaultPlan.parse("drop:worker=1")
 
     def test_empty_specs_mean_no_faults(self):
-        assert not FaultPlan.parse(None)
-        assert not FaultPlan.parse("  ")
-        assert not SimFaultPlan.parse(None)
-        assert not SimFaultPlan.parse("  ")
+        for parse in (FaultPlan.parse, SimFaultPlan.parse,
+                      DistFaultPlan.parse):
+            assert not parse(None)
+            assert not parse("  ")
 
 # -- round-trip properties -----------------------------------------------
 # The grammar must be an exact codec: parse -> format -> parse is the

@@ -27,8 +27,9 @@ def runner(apps):
 
     Returns the :class:`repro.backend.BackendResult` for that matrix
     cell, running it on first request only.  ``metrics=True`` turns on
-    the simulator's observability plane (the parallel backend always
-    records metrics); the sequential oracle ignores width, so callers
+    the simulator's observability plane (the parallel and dist
+    backends always record metrics); the sequential oracle ignores
+    width, so callers
     should pass ``pes=1`` for it to share one cache cell.
     """
     cache = {}

@@ -51,6 +51,19 @@ for _kernel in kernel_names():
 
 BACKENDS = ("sim", "seq", "static", "parallel")
 
+
+def dist_node_counts() -> tuple[int, ...]:
+    """Node counts for the distributed matrix (env-overridable)."""
+    spec = os.environ.get("PODS_CONFORMANCE_NODES", "2,3")
+    counts = sorted({int(tok) for tok in spec.split(",") if tok.strip()})
+    if not counts or any(c < 2 for c in counts):
+        raise ValueError(
+            f"PODS_CONFORMANCE_NODES={spec!r}: need integers >= 2")
+    return tuple(counts)
+
+
+DIST_NODES = dist_node_counts()
+
 PARALLEL_UNSUPPORTED = {
     "lk-first_sum": ("first_sum's partial-sum recurrence is a serial "
                      "loop; every parallel worker re-executes it and "
@@ -61,3 +74,8 @@ PARALLEL_UNSUPPORTED = {
                    "collides on single assignment (documented backend "
                    "limitation, see docs/architecture.md)"),
 }
+
+# The distributed backend runs the same SPMD execution model (every
+# node replicates serial code, Range-Filters split distributed loops),
+# so it inherits exactly the parallel backend's limitations.
+DIST_UNSUPPORTED = dict(PARALLEL_UNSUPPORTED)

@@ -1,0 +1,177 @@
+"""Framing and reliable delivery on the real-socket transport.
+
+The endpoint pair runs on a private asyncio loop per test; fault
+injection happens through the same :class:`DistFaultInjector` the
+backend uses, so a dropped frame heals by a *real* retransmission over
+a real socket.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.config import DistConfig
+from repro.common.retry import RetryPolicy
+from repro.dist.faults import DistFaultInjector, DistFaultPlan
+from repro.dist.transport import Endpoint, encode_frame, read_frame
+
+
+class TestFraming:
+    def _roundtrip(self, obj):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(obj))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_roundtrip(self):
+        obj = {"t": "data", "src": 3, "seq": 7,
+               "m": {"vals": {"0": 1.5}}}
+        assert self._roundtrip(obj) == obj
+
+    def test_eof_at_boundary_returns_none(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(go()) is None
+
+    def test_truncated_frame_returns_none(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"x": 1})[:-2])
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(go()) is None
+
+    def test_oversized_frame_rejected(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x7f\xff\xff\xff")
+            with pytest.raises(ValueError, match="exceeds"):
+                await read_frame(reader)
+
+        asyncio.run(go())
+
+
+def _endpoint_pair(cfg, faults_a="", faults_b=""):
+    """Build two wired endpoints, each with its own fault plan."""
+    policy = RetryPolicy.from_config(cfg)
+    inbox = {0: [], 1: []}
+    lost = []
+
+    def make(node, spec):
+        inj = DistFaultInjector(DistFaultPlan.parse(spec), node)
+        return Endpoint(node, cfg, policy, inj,
+                        on_message=lambda src, m, n=node:
+                            inbox[n].append((src, m)),
+                        on_peer_lost=lambda peer, why:
+                            lost.append((peer, why)))
+
+    return make(0, faults_a), make(1, faults_b), inbox, lost
+
+
+def _run_pair(cfg, sends, settle_s, faults_a="", faults_b=""):
+    """Start a pair, send ``sends`` payloads 0->1, settle, tear down."""
+
+    async def go():
+        a, b, inbox, lost = _endpoint_pair(cfg, faults_a, faults_b)
+        pa = await a.start("127.0.0.1")
+        pb = await b.start("127.0.0.1")
+        a.set_peers({1: ("127.0.0.1", pb)})
+        b.set_peers({0: ("127.0.0.1", pa)})
+        for payload in sends:
+            a.send(1, payload)
+        await asyncio.sleep(settle_s)
+        stats = (a.stats, b.stats)
+        await a.close()
+        await b.close()
+        return inbox, lost, stats
+
+    return asyncio.run(go())
+
+
+FAST = dict(nodes=2, retransmit_timeout_s=0.05, connect_timeout_s=2.0)
+
+
+class TestReliableDelivery:
+    def test_clean_delivery_in_order(self):
+        cfg = DistConfig(**FAST)
+        inbox, lost, _ = _run_pair(cfg, [{"i": i} for i in range(5)],
+                                   settle_s=0.3)
+        assert [m["i"] for _, m in inbox[1]] == [0, 1, 2, 3, 4]
+        assert not lost
+
+    def test_dropped_frames_heal_by_retransmission(self):
+        cfg = DistConfig(**FAST)
+        inbox, lost, (sa, _) = _run_pair(
+            cfg, [{"i": i} for i in range(5)], settle_s=0.6,
+            faults_a="drop:kind=data,count=3")
+        assert sorted(m["i"] for _, m in inbox[1]) == [0, 1, 2, 3, 4]
+        assert sa.dropped >= 3
+        assert sa.retransmits >= 3
+        assert not lost
+
+    def test_duplicate_deliveries_are_discarded(self):
+        # The receiver drops its first acks, forcing retransmission of
+        # already-delivered frames; it must re-ack them but deliver
+        # each exactly once.
+        cfg = DistConfig(**FAST)
+        inbox, lost, (_, sb) = _run_pair(
+            cfg, [{"i": i} for i in range(3)], settle_s=0.6,
+            faults_b="drop:kind=ack,count=2")
+        assert [m["i"] for _, m in inbox[1]] == [0, 1, 2]
+        assert sb.dup_discarded >= 1
+        assert not lost
+
+    def test_retransmit_budget_exhaustion_declares_peer_lost(self):
+        cfg = DistConfig(**FAST, retransmit_budget=3)
+        inbox, lost, (sa, _) = _run_pair(
+            cfg, [{"i": 0}], settle_s=0.6,
+            faults_a="drop:kind=data,count=0")
+        assert inbox[1] == []
+        assert lost and lost[0][0] == 1
+        assert "retransmit budget exhausted" in lost[0][1]
+
+    def test_send_to_forgotten_peer_is_noop(self):
+        async def go():
+            cfg = DistConfig(**FAST)
+            a, b, inbox, lost = _endpoint_pair(cfg)
+            pb = await b.start("127.0.0.1")
+            await a.start("127.0.0.1")
+            a.set_peers({1: ("127.0.0.1", pb)})
+            a.forget(1)
+            a.send(1, {"i": 0})
+            await asyncio.sleep(0.2)
+            await a.close()
+            await b.close()
+            return inbox, lost
+
+        inbox, lost = asyncio.run(go())
+        assert inbox[1] == []
+        assert not lost  # forget() fences silently, no loss callback
+
+    def test_reconnect_budget_exhaustion_declares_peer_lost(self):
+        async def go():
+            cfg = DistConfig(nodes=2, connect_timeout_s=0.3,
+                             reconnect_attempts=2, retry_backoff_s=0.01,
+                             retry_backoff_max_s=0.02)
+            a, _, inbox, lost = _endpoint_pair(cfg)
+            await a.start("127.0.0.1")
+            # Nobody is listening on the peer port.
+            a.set_peers({1: ("127.0.0.1", 1)})
+            a.send(1, {"i": 0})
+            for _ in range(50):
+                await asyncio.sleep(0.05)
+                if lost:
+                    break
+            await a.close()
+            return lost
+
+        lost = asyncio.run(go())
+        assert lost and lost[0][0] == 1
+        assert "reconnect budget exhausted" in lost[0][1]

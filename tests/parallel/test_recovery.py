@@ -71,41 +71,8 @@ def assert_no_leaked_segments():
     assert not glob.glob("/dev/shm/pods*"), "leaked shared memory"
 
 
-class TestRetryPolicy:
-    def test_backoff_is_deterministic_in_seed(self):
-        a = RetryPolicy(seed=7)
-        b = RetryPolicy(seed=7)
-        c = RetryPolicy(seed=8)
-        seq_a = [a.backoff_s(w, k) for w in range(3) for k in (1, 2, 3)]
-        seq_b = [b.backoff_s(w, k) for w in range(3) for k in (1, 2, 3)]
-        assert seq_a == seq_b
-        assert seq_a != [c.backoff_s(w, k) for w in range(3)
-                         for k in (1, 2, 3)]
-
-    def test_backoff_grows_and_caps(self):
-        p = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
-                        backoff_max_s=0.4, jitter=0.0)
-        assert p.backoff_s(0, 1) == pytest.approx(0.1)
-        assert p.backoff_s(0, 2) == pytest.approx(0.2)
-        assert p.backoff_s(0, 3) == pytest.approx(0.4)
-        assert p.backoff_s(0, 9) == pytest.approx(0.4)  # capped
-        with pytest.raises(ValueError):
-            p.backoff_s(0, 0)
-
-    def test_jitter_desynchronises_workers(self):
-        p = RetryPolicy(jitter=0.5, seed=1)
-        delays = {p.backoff_s(w, 1) for w in range(8)}
-        assert len(delays) > 1, "jitter should differ across workers"
-
-    def test_from_config(self):
-        cfg = ParallelConfig(workers=2, max_retries_per_worker=5,
-                             max_retries_total=11, retry_backoff_s=0.3,
-                             retry_backoff_max_s=9.0, retry_jitter=0.1,
-                             seed=42, recovery=False)
-        p = RetryPolicy.from_config(cfg)
-        assert (p.max_retries_per_worker, p.max_retries_total) == (5, 11)
-        assert (p.backoff_base_s, p.backoff_max_s) == (0.3, 9.0)
-        assert (p.jitter, p.seed, p.enabled) == (0.1, 42, False)
+# RetryPolicy's unit tests moved to tests/common/test_retry.py when the
+# policy was hoisted into repro.common.retry (shared with repro.dist).
 
 
 class TestOwnershipEpochs:

@@ -39,14 +39,17 @@ class TestBackendNameResolution:
     def test_aliases_resolve_to_the_same_backend(self):
         assert get_backend("pods") is get_backend("sim")
         assert get_backend("sequential") is get_backend("seq")
+        assert get_backend("distributed") is get_backend("dist")
 
-    def test_canonical_names_cover_all_four_substrates(self):
-        assert backend_names() == ["sim", "parallel", "seq", "static"]
+    def test_canonical_names_cover_all_five_substrates(self):
+        assert backend_names() == ["sim", "parallel", "seq", "static",
+                                   "dist"]
         assert [b.name for b in backends()] == backend_names()
 
 
 class TestParallelismValidation:
-    @pytest.mark.parametrize("backend", ["sim", "seq", "static", "parallel"])
+    @pytest.mark.parametrize("backend", ["sim", "seq", "static",
+                                         "parallel", "dist"])
     @pytest.mark.parametrize("bad", [0, -1, -8])
     def test_non_positive_counts_rejected(self, program, backend, bad):
         with pytest.raises(BackendConfigError, match=">= 1"):
@@ -72,6 +75,11 @@ class TestConfigTypeChecking:
     def test_parallel_rejects_sim_config(self, program):
         with pytest.raises(BackendConfigError, match="ParallelConfig"):
             program.run((3,), backend="parallel", config=SimConfig())
+
+    def test_dist_rejects_parallel_config(self, program):
+        with pytest.raises(BackendConfigError, match="DistConfig"):
+            program.run((3,), backend="dist",
+                        config=ParallelConfig(workers=2))
 
     def test_seq_takes_no_config(self, program):
         with pytest.raises(BackendConfigError, match="no config"):
@@ -101,6 +109,14 @@ class TestFaultArgumentValidation:
             program.run((3,), backend="parallel", config=cfg,
                         faults="kill:worker=1")
 
+    def test_dist_conflicting_explicit_plans_rejected(self, program):
+        from repro.common.config import DistConfig
+
+        cfg = DistConfig(nodes=2, fault_spec="drop:kind=data,count=1")
+        with pytest.raises(BackendConfigError, match="conflicting"):
+            program.run((3,), backend="dist", config=cfg,
+                        faults="node-kill:node=1")
+
     def test_explicit_plan_wins_over_environment(self, program, monkeypatch):
         """A faults= argument must shadow PODS_SIM_FAULTS entirely: the
         env spec here is garbage and would raise if it were parsed."""
@@ -110,6 +126,69 @@ class TestFaultArgumentValidation:
         r = program.run((3,), backend="sim",
                         faults="drop:kind=page,count=0")
         assert r.value == 6
+
+
+class TestRunBoundaryConfigValidation:
+    """Timing/limit fields are re-validated at the ``run()`` boundary.
+
+    The config dataclasses validate at construction, but a config
+    mutated afterwards (``object.__setattr__`` on the frozen instance —
+    exactly what a careless harness or a pickle round-trip can produce)
+    must still raise :class:`BackendConfigError` *naming the field*,
+    never a raw ``ValueError`` and never a supervisor hang on a NaN
+    deadline comparison.
+    """
+
+    TABLE = [
+        ("sim", "retransmit_timeout_us"),
+        ("sim", "quiescence_us"),
+        ("sim", "max_sim_time_us"),
+        ("static", "retransmit_timeout_us"),
+        ("static", "max_sim_time_us"),
+        ("parallel", "timeout_s"),
+        ("parallel", "poll_interval_s"),
+        ("parallel", "spin_ceiling_s"),
+        ("parallel", "read_timeout_s"),
+        ("parallel", "retry_backoff_s"),
+        ("dist", "timeout_s"),
+        ("dist", "poll_interval_s"),
+        ("dist", "connect_timeout_s"),
+        ("dist", "read_timeout_s"),
+        ("dist", "heartbeat_interval_s"),
+        ("dist", "heartbeat_timeout_s"),
+        ("dist", "retransmit_timeout_s"),
+        ("dist", "retry_backoff_s"),
+    ]
+
+    @staticmethod
+    def _config_for(backend):
+        from repro.common.config import DistConfig
+
+        if backend in ("sim", "static"):
+            return SimConfig()
+        if backend == "parallel":
+            return ParallelConfig(workers=2)
+        return DistConfig(nodes=2)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0,
+                                     -1.0, "0.5"],
+                             ids=["nan", "inf", "zero", "negative",
+                                  "string"])
+    @pytest.mark.parametrize("backend,fld", TABLE,
+                             ids=[f"{b}-{f}" for b, f in TABLE])
+    def test_bad_field_names_the_field(self, program, backend, fld, bad):
+        cfg = self._config_for(backend)
+        object.__setattr__(cfg, fld, bad)
+        with pytest.raises(BackendConfigError, match=fld):
+            program.run((3,), backend=backend, config=cfg)
+
+    def test_constructors_reject_nan_outright(self):
+        from repro.common.config import DistConfig
+
+        with pytest.raises(ValueError, match="poll_interval_s"):
+            ParallelConfig(workers=2, poll_interval_s=float("nan"))
+        with pytest.raises(ValueError, match="heartbeat_timeout_s"):
+            DistConfig(nodes=2, heartbeat_timeout_s=float("nan"))
 
 
 class TestUnknownKeywordRejection:

@@ -207,6 +207,39 @@ class TestParallelBackend:
         assert "exec" in names
 
 
+class TestDistBackend:
+    def test_run_dist(self, program_file, capsys):
+        assert main(["run", program_file, "--backend", "dist",
+                     "--args", "5", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        # --nodes must win over the default --pes of 1.
+        assert "2 nodes" in out
+
+    def test_distributed_alias_and_pes_fallback(self, program_file,
+                                                capsys):
+        assert main(["run", program_file, "--backend", "distributed",
+                     "--args", "5", "--pes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        assert "2 nodes" in out
+
+    def test_run_dist_heals_and_reports(self, program_file, capsys):
+        assert main(["run", program_file, "--backend", "dist",
+                     "--args", "5", "--nodes", "3",
+                     "--faults", "node-kill:node=1,on=iter,after=1"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 55" in out
+        assert "takeover" in out
+
+    def test_run_dist_no_recovery_fails_fast(self, program_file, capsys):
+        assert main(["run", program_file, "--backend", "dist",
+                     "--args", "5", "--nodes", "2", "--no-recovery",
+                     "--faults", "node-kill:node=1,on=iter,after=1"]) == 1
+        err = capsys.readouterr().err
+        assert "error[NodeLossError/node-loss]" in err
+
+
 class TestFormat:
     def test_format_round_trips(self, program_file, capsys):
         assert main(["format", program_file]) == 0
