@@ -125,6 +125,11 @@ class BackendResult:
     # ``pods-run/v1`` record (see :mod:`repro.obs.runrecord`); two runs
     # with equal fingerprints claim to be comparable point for point.
     fingerprint: dict | None = None
+    # Checkpoint/restore summary (snapshots, elements, restored_elements,
+    # resumed_from) when durable execution was on for the run; None
+    # otherwise.  Deliberately NOT part of the fingerprint: a resumed
+    # run claims comparability with an uninterrupted one.
+    ckpt: dict | None = None
 
     @property
     def time_s(self) -> float | None:
@@ -474,6 +479,8 @@ class SimBackend(Backend):
         from repro.common.config import MachineConfig, SimConfig
         from repro.sim.machine import Machine
 
+        ckpt = kwargs.pop("ckpt", None)
+        restore = kwargs.pop("restore", None)
         if kwargs:
             raise BackendConfigError(
                 f"backend 'sim' got unknown arguments {sorted(kwargs)}")
@@ -492,11 +499,12 @@ class SimBackend(Backend):
                     "conflicting fault plans: SimConfig.faults and "
                     "faults= are both set")
             config = replace(config, faults=faults)
-        result = Machine(pods, config).run(args)
+        result = Machine(pods, config, ckpt=ckpt, restore=restore).run(args)
         return BackendResult(backend=self.name, value=result.value,
                              parallelism=config.machine.num_pes,
                              time_us=result.finish_time_us,
-                             registry=result.stats.registry, raw=result)
+                             registry=result.stats.registry, raw=result,
+                             ckpt=getattr(result, "ckpt", None))
 
     def cli_config(self, args):
         from repro.common.config import MachineConfig, SimConfig
@@ -554,7 +562,8 @@ class ParallelBackend(Backend):
         return BackendResult(backend=self.name, value=result.value,
                              parallelism=result.workers,
                              wall_time_s=result.wall_time_s,
-                             registry=result.registry, raw=result)
+                             registry=result.registry, raw=result,
+                             ckpt=result.ckpt)
 
     def cli_config(self, args):
         from repro.common.config import ParallelConfig
@@ -691,7 +700,8 @@ class DistBackend(Backend):
         return BackendResult(backend=self.name, value=result.value,
                              parallelism=result.nodes,
                              wall_time_s=result.wall_time_s,
-                             registry=result.registry, raw=result)
+                             registry=result.registry, raw=result,
+                             ckpt=result.ckpt)
 
     def cli_config(self, args):
         from repro.common.config import DistConfig

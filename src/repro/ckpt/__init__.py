@@ -1,0 +1,33 @@
+"""Durable execution: ``pods-ckpt/v1`` checkpoints and restart.
+
+See :mod:`repro.ckpt.format` for the schema and the monotonicity
+argument, :mod:`repro.ckpt.resume` for the restart driver behind
+``pods resume``.
+"""
+
+from repro.ckpt.format import (  # noqa: F401
+    LATEST,
+    SCHEMA,
+    CheckpointError,
+    CkptRestore,
+    CkptSpec,
+    CkptWriter,
+    array_entry,
+    bitmap_hex,
+    bitmap_offsets,
+    build_checkpoint,
+    canonical_json,
+    ckpt_id,
+    load,
+    program_section,
+    save,
+    validate,
+)
+from repro.ckpt.resume import resolve_ckpt_path, resume  # noqa: F401
+
+__all__ = [
+    "LATEST", "SCHEMA", "CheckpointError", "CkptRestore", "CkptSpec",
+    "CkptWriter", "array_entry", "bitmap_hex", "bitmap_offsets",
+    "build_checkpoint", "canonical_json", "ckpt_id", "load",
+    "program_section", "resolve_ckpt_path", "resume", "save", "validate",
+]

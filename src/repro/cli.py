@@ -54,11 +54,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      or getattr(args, "metrics_out", None))
     if wants_obs:
         config = _with_full_obs(config)
+    extra = {}
+    if getattr(args, "ckpt_dir", None):
+        writer = _ckpt_writer(backend, program, call_args, args)
+        if writer is None:
+            return 1
+        extra["ckpt"] = writer
     result = backend.run(program, call_args,
                          parallelism=backend.cli_parallelism(args),
-                         config=config)
+                         config=config, **extra)
     for line in backend.render(result, args):
         print(line)
+    if result.ckpt:
+        print("checkpoint: " + "  ".join(
+            f"{k}={v}" for k, v in sorted(result.ckpt.items())))
     if getattr(args, "metrics_out", None):
         if result.registry is None:
             print(f"error: backend {backend.name!r} published no metrics "
@@ -73,6 +82,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store = RunStore(args.runs_dir)
         rid = store.put(result.to_run_record(program=program,
                                              args=call_args))
+        print(f"recorded {rid[:12]} in {store.root}")
+    return 0
+
+
+CKPT_BACKENDS = ("sim", "parallel", "dist")
+
+
+def _ckpt_writer(backend, program, call_args, args):
+    """Build the CkptWriter ``pods run --ckpt-dir`` arms, or None (with
+    a printed error) when the backend has no durable-execution hooks."""
+    from repro.ckpt import CkptSpec, CkptWriter, program_section
+
+    if backend.name not in CKPT_BACKENDS:
+        print(f"error: backend {backend.name!r} does not support "
+              f"checkpointing (one of: {', '.join(CKPT_BACKENDS)})",
+              file=sys.stderr)
+        return None
+    spec = CkptSpec(dir=args.ckpt_dir, interval_s=args.ckpt_interval,
+                    every_events=args.ckpt_every_events)
+    source = getattr(program, "source", None)
+    name = getattr(getattr(program, "pods", None), "name", None)
+    entry = getattr(program, "entry", "main")
+    return CkptWriter(spec,
+                      fingerprint={"backend": backend.name,
+                                   "parallelism":
+                                       backend.cli_parallelism(args)},
+                      program=program_section(source, entry=entry,
+                                              name=name),
+                      args=call_args)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Restart a run from a ``pods-ckpt/v1`` snapshot."""
+    from repro.backend import get_backend
+    from repro.ckpt import (CkptRestore, CkptSpec, load,
+                            resolve_ckpt_path, resume)
+
+    restore = CkptRestore(load(resolve_ckpt_path(args.ckpt)))
+    spec = None
+    if args.ckpt_dir:
+        # Re-arm checkpointing on the resumed run; resume() carries the
+        # snapshot's own identity sections into the new writer.
+        spec = CkptSpec(dir=args.ckpt_dir,
+                        interval_s=args.ckpt_interval,
+                        every_events=args.ckpt_every_events)
+    backend = get_backend(args.backend or restore.backend or "sim")
+    width = args.pes if args.pes is not None else args.nodes
+    config = None
+    if args.record and backend.name == "sim":
+        # The semantic-parity gate (runs diff --semantic) needs the
+        # metric families a default SimConfig does not collect; build
+        # the config at the resolved width so the recorded fingerprint
+        # matches what actually ran.
+        from repro.common.config import MachineConfig, SimConfig
+
+        pes = width if width is not None else (restore.parallelism or 1)
+        config = _with_full_obs(
+            SimConfig(machine=MachineConfig(num_pes=pes)))
+    result, program, restore = resume(
+        restore, backend=backend.name, parallelism=width,
+        config=config, ckpt=spec)
+    print(f"resumed from {restore.id[:12]} "
+          f"({restore.total_elements} elements) on {result.backend} x "
+          f"{result.parallelism}")
+    for line in backend.render(result, args):
+        print(line)
+    if result.ckpt:
+        print("checkpoint: " + "  ".join(
+            f"{k}={v}" for k, v in sorted(result.ckpt.items())))
+    if args.record:
+        from repro.obs.store import RunStore
+
+        store = RunStore(args.runs_dir)
+        rid = store.put(result.to_run_record(program=program,
+                                             args=restore.args))
         print(f"recorded {rid[:12]} in {store.root}")
     return 0
 
@@ -306,7 +390,8 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
     store = _runs_store(args)
     a = _load_record_ref(store, args.a)
     b = _load_record_ref(store, args.b)
-    result = runrecord.diff(a, b, rtol=args.rtol)
+    result = runrecord.diff(a, b, rtol=args.rtol,
+                            semantic=getattr(args, "semantic", False))
     print(result.render())
     if not result.ok and not args.report_only:
         # The shared exit-code convention: a structured one-line
@@ -385,6 +470,20 @@ def _cmd_simple(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ckpt_args(p) -> None:
+    """Durable-execution flags shared by ``run`` and ``resume``."""
+    p.add_argument("--ckpt-dir", default=None,
+                   help="arm checkpointing: write pods-ckpt/v1 "
+                        "snapshots into this directory (resumable "
+                        "with 'pods resume')")
+    p.add_argument("--ckpt-interval", type=float, default=0.25,
+                   help="seconds between snapshots on the wall-clock "
+                        "backends (default 0.25)")
+    p.add_argument("--ckpt-every-events", type=int, default=0,
+                   help="sim backend: snapshot every N simulation "
+                        "events (default 0 = final drain only)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pods",
@@ -441,7 +540,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the run's metrics registry as an "
                           "OpenMetrics/Prometheus text exposition to "
                           "this path")
+    _ckpt_args(run)
     run.set_defaults(func=_cmd_run)
+
+    resume_cmd = sub.add_parser(
+        "resume", help="restart a run from a pods-ckpt/v1 snapshot")
+    resume_cmd.add_argument("ckpt",
+                            help="checkpoint file, or a checkpoint "
+                                 "directory (uses its latest.json)")
+    resume_cmd.add_argument("--backend", default=None,
+                            choices=["sim", "parallel", "pods", "dist",
+                                     "distributed"],
+                            help="override the backend recorded in the "
+                                 "snapshot")
+    resume_cmd.add_argument("--pes", type=int, default=None,
+                            help="override the PE / worker count (the "
+                                 "snapshot re-partitions at any width)")
+    resume_cmd.add_argument("--nodes", type=int, default=None,
+                            help="dist backend: node count override "
+                                 "(alias of --pes)")
+    resume_cmd.add_argument("--stats", action="store_true",
+                            help="print the machine statistics report")
+    resume_cmd.add_argument("--record", action="store_true",
+                            help="deposit a pods-run/v1 record of the "
+                                 "resumed run (its ckpt section carries "
+                                 "resumed_from provenance)")
+    resume_cmd.add_argument("--runs-dir", default=None,
+                            help="run-ledger directory (default "
+                                 ".pods-runs, or PODS_RUNS_DIR)")
+    _ckpt_args(resume_cmd)
+    resume_cmd.set_defaults(func=_cmd_resume)
 
     runs = sub.add_parser(
         "runs", help="inspect the persistent run ledger (.pods-runs)")
@@ -481,6 +609,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "is a regression (default 0.02)")
     runs_diff.add_argument("--report-only", action="store_true",
                            help="always exit 0; print findings only")
+    runs_diff.add_argument("--semantic", action="store_true",
+                           help="additionally gate the answer and the "
+                                "semantic metric totals (rf.*, array "
+                                "writes/pages) exactly, even across a "
+                                "width change - the checkpoint/resume "
+                                "parity contract")
     runs_diff.set_defaults(func=_cmd_runs_diff)
 
     runs_regress = runs_sub.add_parser(

@@ -333,6 +333,12 @@ class DistConfig:
         recovery: Enable node-loss takeover: a dead node's RF subranges
             are re-executed by a survivor (idempotently, via
             presence-bit replay) instead of aborting the run.
+        failover: Run the coordinator in its own forked process with
+            the client acting as a warm standby: if the coordinator
+            dies mid-run the standby fences the old generation,
+            re-collects node state over a pre-announced standby port
+            and completes the run.  ``False`` keeps the coordinator
+            inline in the client (a single point of failure).
         max_takeovers: Global takeover budget; exhausting it aborts
             with :class:`repro.common.errors.NodeLossError`.
         max_retries_per_worker / max_retries_total / retry_backoff_s /
@@ -357,6 +363,7 @@ class DistConfig:
     retransmit_budget: int = 16
     reconnect_attempts: int = 3
     recovery: bool = True
+    failover: bool = True
     max_takeovers: int = 2
     max_retries_per_worker: int = 2
     max_retries_total: int = 8

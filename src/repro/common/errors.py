@@ -341,6 +341,23 @@ class ParallelExecutionError(ExecutionError):
             message += f"\nrecovery: {recovery.summary()}"
         super().__init__(message)
 
+    def __reduce__(self):
+        # Default exception pickling re-calls __init__(message), which
+        # would drop failures/recovery and re-append describe() text.
+        # The distributed backend ships these across a process pipe
+        # (forked coordinator -> standby), so preserve them faithfully.
+        return (_restore_parallel_error,
+                (type(self), str(self), self.failures, self.recovery))
+
+
+def _restore_parallel_error(cls, message, failures, recovery):
+    """Unpickle helper for :class:`ParallelExecutionError` subclasses."""
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, message)
+    exc.failures = failures
+    exc.recovery = recovery
+    return exc
+
 
 class TransportError(RuntimeFault):
     """The distributed backend's TCP message layer gave up on a link.

@@ -25,8 +25,6 @@ Used by the CI ``dist-chaos`` job::
 from __future__ import annotations
 
 import argparse
-import glob
-import multiprocessing
 import os
 import signal
 import subprocess
@@ -36,6 +34,8 @@ from dataclasses import dataclass, field
 
 from repro.api import compile_source
 from repro.backend import classify_error, get_backend, render_error
+from repro.common.chaoslib import (check_leaks, open_sockets, run_matrix,
+                                   shm_entries)
 from repro.common.config import DistConfig
 from repro.common.errors import NodeLossError
 
@@ -83,6 +83,7 @@ class Scenario:
     cfg: dict = field(default_factory=dict)      # DistConfig overrides
     expect_min: dict = field(default_factory=dict)  # NetStats attr -> min
     takeovers: tuple = (0, 0)           # (min, max) expected takeovers
+    failover: bool = False              # expect a standby promotion
 
 
 def scenarios(nodes: int) -> list[Scenario]:
@@ -130,49 +131,31 @@ def scenarios(nodes: int) -> list[Scenario]:
                  n=N_LONG, heals=False, error_code="node-loss",
                  error_type=NodeLossError,
                  cfg={**FAST_RECOVERY, "max_takeovers": 0}),
+        # The coordinator itself dies mid-run (power-loss semantics: no
+        # shutdown broadcast, its listener just vanishes).  The warm
+        # standby fences the dead generation, nodes rejoin on the
+        # pre-announced standby port with their report memories, and the
+        # run completes with no node membership change at all.
+        # n is sized like delay-hb-fence: the sweep must outlive the
+        # third heartbeat or the run (correctly) finishes first and no
+        # standby promotion is ever needed.
+        Scenario("coord-kill-midrun", "coord-kill:on=hb,after=2",
+                 n=96, cfg={**FAST_RECOVERY,
+                            "heartbeat_interval_s": 0.01,
+                            "read_timeout_s": 15.0},
+                 failover=True),
+        # The coordinator dies *late* — right as a node's first done
+        # report arrives, before the state mutation it announces.  The
+        # node's remembered reports resync the promoted standby, so the
+        # nearly-complete run still finishes without re-execution.
+        Scenario("coord-kill-on-done", "coord-kill:on=done",
+                 n=N_LONG, cfg=dict(FAST_RECOVERY), failover=True),
     ]
 
 
 def _dist_config(nodes: int, faults: str | None = None,
                  **over) -> DistConfig:
     return DistConfig(nodes=nodes, fault_spec=faults, **over)
-
-
-# -- leak accounting ------------------------------------------------------
-
-
-def _open_sockets() -> int:
-    count = 0
-    for fd in os.listdir("/proc/self/fd"):
-        try:
-            if "socket:" in os.readlink(f"/proc/self/fd/{fd}"):
-                count += 1
-        except OSError:
-            continue
-    return count
-
-
-def _shm_entries() -> set[str]:
-    return set(glob.glob("/dev/shm/pods*"))
-
-
-def _leak_check(problems: list[str], sockets0: int,
-                shm0: set[str]) -> None:
-    # Node processes are joined in the coordinator's finally; anything
-    # still registered after a scenario has leaked.
-    deadline = time.monotonic() + 5.0
-    while multiprocessing.active_children() and time.monotonic() < deadline:
-        time.sleep(0.05)
-    leftover = multiprocessing.active_children()
-    if leftover:
-        problems.append(f"leaked node processes: "
-                        f"{[p.pid for p in leftover]}")
-    sockets = _open_sockets()
-    if sockets > sockets0:
-        problems.append(f"leaked sockets: {sockets0} -> {sockets}")
-    shm = _shm_entries() - shm0
-    if shm:
-        problems.append(f"leaked shm segments: {sorted(shm)}")
 
 
 # -- scenarios ------------------------------------------------------------
@@ -182,8 +165,8 @@ def run_scenario(sc: Scenario, nodes: int, oracle_of,
                  verbose: bool) -> list[str]:
     """Run one scenario; return a list of problems (empty = pass)."""
     problems: list[str] = []
-    sockets0 = _open_sockets()
-    shm0 = _shm_entries()
+    sockets0 = open_sockets()
+    shm0 = shm_entries()
     program = compile_source(ROW_SWEEP)
     cfg = _dist_config(nodes, faults=sc.faults, **sc.cfg)
 
@@ -205,7 +188,7 @@ def run_scenario(sc: Scenario, nodes: int, oracle_of,
         else:
             problems.append(
                 f"expected {sc.error_type.__name__}, run healed")
-        _leak_check(problems, sockets0, shm0)
+        check_leaks(problems, sockets0, shm0)
         return problems
 
     try:
@@ -213,7 +196,7 @@ def run_scenario(sc: Scenario, nodes: int, oracle_of,
     except Exception as exc:  # noqa: BLE001 - the scenario must heal
         problems.append(f"expected heal, got {type(exc).__name__}: "
                         f"{str(exc).splitlines()[0]}")
-        _leak_check(problems, sockets0, shm0)
+        check_leaks(problems, sockets0, shm0)
         return problems
 
     want = oracle_of(sc.n)
@@ -223,6 +206,11 @@ def run_scenario(sc: Scenario, nodes: int, oracle_of,
     lo, hi = sc.takeovers
     if not (lo <= takeovers <= hi):
         problems.append(f"takeovers: want [{lo}, {hi}], got {takeovers}")
+    if sc.failover:
+        kinds = [e.kind for e in res.raw.recovery.events]
+        if "failover" not in kinds:
+            problems.append(
+                f"expected a failover event, got kinds {kinds}")
     ns = res.raw.netstats
     for attr, floor in sc.expect_min.items():
         got = getattr(ns, attr)
@@ -234,7 +222,7 @@ def run_scenario(sc: Scenario, nodes: int, oracle_of,
               f"retx={ns.retransmits} drop={ns.dropped} "
               f"delay={ns.delayed} dup_disc={ns.dup_discarded} "
               f"takeovers={takeovers}")
-    _leak_check(problems, sockets0, shm0)
+    check_leaks(problems, sockets0, shm0)
     return problems
 
 
@@ -345,31 +333,14 @@ def main(argv: list[str] | None = None) -> int:
                                       (n,)).value
         return oracle_cache[n]
 
-    failed = 0
-    matrix = scenarios(args.nodes)
-    for sc in matrix:
-        t0 = time.monotonic()
-        problems = run_scenario(sc, args.nodes, oracle_of, args.verbose)
-        dt = time.monotonic() - t0
-        status = "ok" if not problems else "FAIL"
-        print(f"  {sc.name:<22s} {status:>4s}  ({dt:.1f}s)")
-        for p in problems:
-            print(f"    !! {p}")
-        failed += bool(problems)
-
-    t0 = time.monotonic()
-    problems = run_sigterm_drain(args.nodes, args.verbose)
-    dt = time.monotonic() - t0
-    print(f"  {'sigterm-drain':<22s} "
-          f"{'ok' if not problems else 'FAIL':>4s}  ({dt:.1f}s)")
-    for p in problems:
-        print(f"    !! {p}")
-    failed += bool(problems)
-
-    total = len(matrix) + 1
-    print(f"dist chaos: {total - failed}/{total} scenarios passed on "
-          f"{args.nodes} nodes")
-    return 1 if failed else 0
+    cases = [(sc.name,
+              lambda sc=sc: run_scenario(sc, args.nodes, oracle_of,
+                                         args.verbose))
+             for sc in scenarios(args.nodes)]
+    cases.append(("sigterm-drain",
+                  lambda: run_sigterm_drain(args.nodes, args.verbose)))
+    return run_matrix(cases, "dist chaos", f"{args.nodes} nodes",
+                      name_width=22)
 
 
 if __name__ == "__main__":

@@ -36,19 +36,22 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing as mp
+import os
 import signal
 import socket
 import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any
 
 from repro.common.config import DistConfig
 from repro.common.errors import (DistExecutionError, NodeLossError,
                                  WorkerFailure)
 from repro.common.retry import RetryPolicy
-from repro.dist.faults import resolve_dist_plan
+from repro.dist import reasons
+from repro.dist.faults import CoordKillSwitch, resolve_dist_plan
 from repro.dist.node import node_main
-from repro.dist.transport import encode_frame, read_frame
+from repro.dist.transport import encode_frame, frame_secret, read_frame
 from repro.graph import build_graph
 from repro.lang import ast_nodes as A
 from repro.parallel.executor import WorkerTelemetry, telemetry_registry
@@ -58,7 +61,12 @@ from repro.runtime.values import ArrayValue
 from repro.sim.reliable import NetStats
 
 _NETSTAT_FIELDS = ("sent", "retransmits", "dropped", "duplicated",
-                   "delayed", "dup_discarded", "acks_sent", "halt_lost")
+                   "delayed", "dup_discarded", "acks_sent", "halt_lost",
+                   "auth_rejected")
+
+# The forked coordinator writes its pid here so out-of-process chaos
+# (CI's crash-restart job) can aim a real ``kill -9`` at it.
+COORD_PIDFILE_ENV = "PODS_DIST_COORD_PIDFILE"
 
 
 @dataclass
@@ -70,6 +78,7 @@ class DistResult:
     registry: Any = None  # MetricsRegistry over the node telemetry
     recovery: RecoveryLog | None = None
     netstats: NetStats | None = None
+    ckpt: dict | None = None  # checkpoint/restore summary, None when off
 
     def telemetry_table(self) -> str:
         """Per-node profile as an aligned text block."""
@@ -94,14 +103,36 @@ class DistResult:
 
 
 class _Supervisor:
-    """The coordinator's asyncio half: registration through teardown."""
+    """The coordinator's asyncio half: registration through teardown.
+
+    With ``standby=True`` this is the *promoted* supervisor: the nodes
+    are already running, so registration waits for them to rejoin on
+    the standby socket and absorbs their resync payloads (owner map,
+    generation, remembered done/result reports) instead of launching
+    executors.  The promoted supervisor never arms ``coord-kill``
+    clauses — a scenario tests exactly one failover.
+    """
 
     def __init__(self, cfg: DistConfig, policy: RetryPolicy,
-                 procs: list) -> None:
+                 procs: list, plan=None, ckpt=None, restore=None,
+                 standby: bool = False) -> None:
         self.cfg = cfg
         self.policy = policy
         self.procs = procs
         self.n = cfg.nodes
+        self.kill = CoordKillSwitch(None if standby else plan)
+        self.ckpt = ckpt
+        self.restore = restore
+        self.standby = standby
+        self.expect: set[int] = set(range(self.n))
+        self.max_resync_gen = 0
+        self._registering = True
+        self._deferred_losses: list[tuple[int, int | None]] = []
+        self._ckpt_pending: set[int] = set()
+        # array id -> (dims, {offset: value}); a monotone union across
+        # rounds — single assignment makes mixed-time replies a cut.
+        self._ckpt_acc: dict[int, tuple[tuple, dict]] = {}
+        self._secret = frame_secret()
         self.conns: dict[int, asyncio.StreamWriter] = {}
         self.ports: dict[int, int] = {}
         self.last_hb: dict[int, float] = {}
@@ -137,17 +168,27 @@ class _Supervisor:
                   t_start: float) -> DistResult:
         loop = asyncio.get_running_loop()
         self.server = await asyncio.start_server(self._accept, sock=lsock)
+        if self.standby:
+            self.expect = {node for node, proc in enumerate(self.procs)
+                           if proc.is_alive()}
         watched = []
         for node, proc in enumerate(self.procs):
             loop.add_reader(proc.sentinel, self._sentinel_fired, node)
             watched.append(proc.sentinel)
         try:
             await self._registration()
-            self._broadcast_start()
+            self._registering = False
+            if self.standby:
+                self._assume_command()
+            else:
+                self._broadcast_start()
+                self.kill.fire("start")
             await self._supervise()
             if self.failures:
                 raise self._build_error()
             value = await self._finish_value()
+            if self.ckpt is not None:
+                await self._ckpt_final()
             await self._graceful_shutdown()
             return self._build_result(value, t_start)
         finally:
@@ -174,11 +215,19 @@ class _Supervisor:
 
     async def _registration(self) -> None:
         deadline = time.monotonic() + self.cfg.connect_timeout_s
-        while len(self.conns) < self.n:
+        while True:
+            if self.standby:
+                dead = {node for node, _ in self._deferred_losses}
+                expected = {node for node in self.expect
+                            if node in self.live and node not in dead}
+            else:
+                expected = set(range(self.n))
+            if expected <= set(self.conns):
+                return
             if self.failures:
                 raise self._build_error()
             if time.monotonic() > deadline:
-                missing = sorted(set(range(self.n)) - set(self.conns))
+                missing = sorted(expected - set(self.conns))
                 raise DistExecutionError(
                     f"distributed run failed: node registration timed "
                     f"out after {self.cfg.connect_timeout_s:g}s "
@@ -189,6 +238,32 @@ class _Supervisor:
                      for node in missing],
                     recovery=self.rlog)
             await self._wait_kick()
+
+    def _assume_command(self) -> None:
+        """Promoted standby takes over: fence the dead epoch, realign.
+
+        The resync payloads already replayed done/result reports and
+        installed the highest-generation owner map; what remains is to
+        bump past the old coordinator's generation (fencing any frame
+        it might still emit conceptually) and re-broadcast the agreed
+        owner map so every survivor shares one view.  Node deaths that
+        raced the failover were deferred during registration and are
+        processed now, against the absorbed owner map — so a loss the
+        old coordinator already healed is not healed twice.
+        """
+        self.generation = max(self.generation, self.max_resync_gen) + 1
+        self.rlog.record(RecoveryEvent(
+            self.t(), "failover", -1, self.generation,
+            detail=(f"standby coordinator took over; nodes "
+                    f"{sorted(self.conns)} rejoined, owner map "
+                    f"{self.owners}")))
+        self._broadcast({"t": "ownermap", "owners": self.owners,
+                         "live": sorted(self.live),
+                         "gen": self.generation})
+        for node, exitcode in self._deferred_losses:
+            if node in self.live:
+                self._report_exit(node, exitcode)
+        self._deferred_losses.clear()
 
     def _broadcast_start(self) -> None:
         peers = {str(node): [self.cfg.host, self.ports[node]]
@@ -212,6 +287,10 @@ class _Supervisor:
                                       "producing a result")
                 return
             now = time.monotonic()
+            if (self.ckpt is not None and not self._ckpt_pending
+                    and self.live and self.ckpt.due(now)):
+                self._ckpt_pending = set(self.live)
+                self._broadcast({"t": "ckpt"})
             due = [a for a in self.pending_adopts if a[0] <= now]
             if due:
                 self.pending_adopts = [a for a in self.pending_adopts
@@ -224,10 +303,14 @@ class _Supervisor:
                 if hb is not None and \
                         now - hb > self.cfg.heartbeat_timeout_s:
                     self._on_node_loss(
-                        node, kind="lost", exitcode=None,
-                        detail=f"heartbeat silence for "
-                               f"{now - hb:.2f}s (threshold "
-                               f"{self.cfg.heartbeat_timeout_s:g}s)")
+                        node,
+                        kind=reasons.failure_kind(
+                            reasons.HEARTBEAT_SILENCE),
+                        exitcode=None,
+                        detail=reasons.reason_string(
+                            reasons.HEARTBEAT_SILENCE,
+                            f"{now - hb:.2f}s silent (threshold "
+                            f"{self.cfg.heartbeat_timeout_s:g}s)"))
             if now > deadline:
                 for node in sorted(self.live):
                     if not self.remaining.intersection(
@@ -293,7 +376,7 @@ class _Supervisor:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
         try:
-            hello = await read_frame(reader)
+            hello = await read_frame(reader, self._secret)
             if not hello or hello.get("t") != "hello":
                 writer.close()
                 return
@@ -301,9 +384,12 @@ class _Supervisor:
             self.conns[node] = writer
             self.ports[node] = hello["port"]
             self.last_hb[node] = time.monotonic()
+            resync = hello.get("resync")
+            if resync:
+                self._absorb_resync(node, resync)
             self.kick.set()
             while True:
-                msg = await read_frame(reader)
+                msg = await read_frame(reader, self._secret)
                 if msg is None:
                     return  # death shows up via sentinel/heartbeat
                 self._on_msg(node, msg)
@@ -312,8 +398,32 @@ class _Supervisor:
             # stream server's done-callback logs a spurious traceback.
             pass
 
+    def _absorb_resync(self, node: int, resync: dict) -> None:
+        """Install a rejoining node's memory of the dead epoch.
+
+        The highest generation any survivor saw wins the owner-map /
+        live-set vote (later broadcasts strictly supersede earlier
+        ones); every remembered done/result/err report is replayed
+        through the normal message path — replaying a report twice is
+        idempotent, so overlap between survivors' memories is safe.
+        """
+        gen = int(resync.get("gen", 1))
+        if gen > self.max_resync_gen:
+            self.max_resync_gen = gen
+            owners = resync.get("owners")
+            if owners is not None:
+                self.owners = [int(o) for o in owners]
+            live = resync.get("live")
+            if live is not None:
+                self.live = {int(x) for x in live}
+        for report in resync.get("reports", ()):
+            src = int(report.get("node", node))
+            self._on_msg(src, report)
+
     def _on_msg(self, node: int, msg: dict) -> None:
         t = msg.get("t")
+        if t in ("hb", "done", "result"):
+            self.kill.fire(t)
         if t == "hb":
             self.last_hb[node] = time.monotonic()
             return
@@ -334,14 +444,27 @@ class _Supervisor:
         elif t == "peer-lost":
             peer = msg["peer"]
             if peer in self.live:
+                reason = reasons.parse_reason(msg.get("reason")
+                                              or msg.get("detail", ""))
                 self._on_node_loss(
-                    peer, kind="lost", exitcode=None,
-                    detail=f"unreachable from node {node}: "
-                           f"{msg.get('detail', '')}")
+                    peer, kind=reasons.failure_kind(reason),
+                    exitcode=None,
+                    detail=reasons.reason_string(
+                        reason, f"unreachable from node {node}: "
+                                f"{msg.get('detail', '')}"))
         elif t == "segment":
             for key, value in msg["vals"].items():
                 self.segments[int(key)] = value
             self.collect_pending.discard(node)
+        elif t == "ckpt-state":
+            for key, entry in msg.get("arrays", {}).items():
+                aid = int(key)
+                dims = tuple(entry.get("dims", ()))
+                acc = self._ckpt_acc.setdefault(aid, (dims, {}))
+                vals = acc[1]
+                for off, value in entry.get("vals", {}).items():
+                    vals.setdefault(int(off), value)
+            self._ckpt_mark(node)
         elif t == "bye":
             self.byes[node] = msg.get("netstats") or {}
         self.kick.set()
@@ -355,11 +478,31 @@ class _Supervisor:
         if self.finishing or node not in self.live:
             self.kick.set()
             return
-        exitcode = self.procs[node].exitcode
-        kind = "lost" if exitcode == 0 else "crash"
-        self._on_node_loss(node, kind=kind, exitcode=exitcode,
-                           detail="process exited "
-                                  f"(exitcode {exitcode})")
+        try:
+            # In the forked coordinator the nodes are siblings, not
+            # children; waitpid is the parent's privilege and poll()
+            # then reports None.  The sentinel itself is fork-shared,
+            # so death detection is unaffected — only the code is lost.
+            exitcode = self.procs[node].exitcode
+        except Exception:  # pragma: no cover - defensive
+            exitcode = None
+        if self._registering and self.standby:
+            # A death racing the failover: defer until the resync
+            # payloads have voted on the owner map, so a loss the old
+            # coordinator already healed is not healed twice.
+            self._deferred_losses.append((node, exitcode))
+            self.kick.set()
+            return
+        self._report_exit(node, exitcode)
+
+    def _report_exit(self, node: int, exitcode: int | None) -> None:
+        self._on_node_loss(
+            node,
+            kind=reasons.failure_kind(reasons.PROCESS_EXIT, exitcode),
+            exitcode=exitcode,
+            detail=reasons.reason_string(
+                reasons.PROCESS_EXIT,
+                f"exitcode {'?' if exitcode is None else exitcode}"))
 
     # -- node loss and takeover ------------------------------------------
 
@@ -368,6 +511,7 @@ class _Supervisor:
         if self.finishing or node not in self.live:
             return
         self.live.discard(node)
+        self._ckpt_mark(node)  # don't let a dead node stall a round
         failure = WorkerFailure(node, exitcode=exitcode, kind=kind,
                                 detail=detail,
                                 generation=self.generation)
@@ -379,7 +523,7 @@ class _Supervisor:
         writer = self.conns.get(node)
         if writer is not None:
             try:
-                writer.write(encode_frame({"t": "fence"}))
+                writer.write(encode_frame({"t": "fence"}, self._secret))
             except Exception:
                 pass
         idents = tuple(i for i in range(self.n)
@@ -437,10 +581,44 @@ class _Supervisor:
         for ident in idents:
             self.owners[ident] = target
         self._broadcast({"t": "ownermap", "owners": self.owners,
-                         "live": survivors})
+                         "live": survivors, "gen": generation})
         self._send(target, {"t": "adopt", "identities": list(idents),
                             "generation": generation,
                             "slot": min(idents) if idents else target})
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _ckpt_mark(self, node: int) -> None:
+        """A node answered (or died out of) the open checkpoint round."""
+        if node in self._ckpt_pending:
+            self._ckpt_pending.discard(node)
+            if not self._ckpt_pending:
+                self._ckpt_flush()
+
+    def _ckpt_flush(self) -> None:
+        if self.ckpt is None:
+            return
+        arrays = [(aid, dims, self.cfg.page_size, dict(vals))
+                  for aid, (dims, vals) in sorted(self._ckpt_acc.items())]
+        done = set(range(self.n)) - set(self.remaining)
+        try:
+            self.ckpt.snapshot(arrays, done, self.n,
+                               now=time.monotonic())
+        except OSError:  # pragma: no cover - disk trouble is best-effort
+            pass
+
+    async def _ckpt_final(self) -> None:
+        """One synchronous round so the checkpoint covers the result."""
+        if not self.live:
+            return
+        self._ckpt_pending = set(self.live)
+        self._broadcast({"t": "ckpt"})
+        deadline = time.monotonic() + self.cfg.connect_timeout_s
+        while self._ckpt_pending and time.monotonic() < deadline:
+            await self._wait_kick()
+        if self._ckpt_pending:  # write what we have anyway
+            self._ckpt_pending.clear()
+            self._ckpt_flush()
 
     # -- error / result assembly -----------------------------------------
 
@@ -474,9 +652,19 @@ class _Supervisor:
                 setattr(netstats, name,
                         getattr(netstats, name) + int(counters.get(name,
                                                                    0)))
+        ckpt_info = self.ckpt.stats() if self.ckpt is not None else None
+        if self.restore is not None:
+            ckpt_info = dict(ckpt_info or {})
+            ckpt_info["restored_elements"] = self.restore.total_elements
+            ckpt_info["resumed_from"] = self.restore.id
+        if ckpt_info:
+            for key in ("snapshots", "elements", "restored_elements"):
+                if ckpt_info.get(key):
+                    registry.inc(f"ckpt.{key}", ckpt_info[key])
         return DistResult(value=value, wall_time_s=wall, nodes=self.n,
                           worker_stats=stats, registry=registry,
-                          recovery=self.rlog, netstats=netstats)
+                          recovery=self.rlog, netstats=netstats,
+                          ckpt=ckpt_info)
 
     # -- plumbing --------------------------------------------------------
 
@@ -493,7 +681,7 @@ class _Supervisor:
         if writer is None:
             return
         try:
-            writer.write(encode_frame(msg))
+            writer.write(encode_frame(msg, self._secret))
         except Exception:
             pass
 
@@ -502,11 +690,48 @@ class _Supervisor:
             self._send(node, msg)
 
 
+def _coordinator_main(cfg, policy, procs, lsock, t_start, conn, plan,
+                      ckpt, restore) -> None:
+    """Entry point of the forked primary-coordinator process.
+
+    Ships the outcome — result or exception — to the standby (the
+    client process) over a pipe and exits hard, so a ``coord-kill``
+    clause or a real ``kill -9`` differs from success only in the pipe
+    staying empty.
+    """
+    pidfile = os.environ.get(COORD_PIDFILE_ENV)
+    if pidfile:
+        try:
+            with open(pidfile, "w", encoding="utf-8") as fh:
+                fh.write(str(os.getpid()))
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+    sup = _Supervisor(cfg, policy, procs, plan=plan, ckpt=ckpt,
+                      restore=restore)
+    try:
+        result = asyncio.run(sup.run(lsock, t_start))
+    except BaseException as exc:  # ship the failure whole
+        try:
+            conn.send(("err", exc))
+        except Exception:
+            try:
+                conn.send(("err", DistExecutionError(
+                    f"distributed run failed: {exc}")))
+            except Exception:  # pragma: no cover - pipe gone
+                pass
+        os._exit(1)
+    try:
+        conn.send(("ok", result))
+    except Exception:  # pragma: no cover - standby already gone
+        os._exit(1)
+    os._exit(0)
+
+
 def run_distributed(program_ast: A.Program, args: tuple = (),
                     nodes: int = 2, entry: str = "main",
                     page_size: int = 32, timeout_s: float = 120.0,
                     config: DistConfig | None = None,
-                    faults=None) -> DistResult:
+                    faults=None, ckpt=None, restore=None) -> DistResult:
     """Execute ``program_ast`` across supervised TCP-connected nodes.
 
     Node-loss recovery (heartbeat detection, fencing, identity takeover
@@ -519,6 +744,21 @@ def run_distributed(program_ast: A.Program, args: tuple = (),
     partial result is never returned.  ``faults`` takes a spec string
     or :class:`~repro.dist.faults.DistFaultPlan` (``None`` defers to
     ``config.fault_spec``, then ``PODS_DIST_FAULTS``).
+
+    With ``config.failover`` (the default) the coordinator itself is
+    not a single point of failure: it runs in its own forked process
+    while the client acts as a warm standby.  Nodes learn both ports up
+    front; if the coordinator dies mid-run they rejoin on the standby
+    port carrying a resync payload (owner map, generation, remembered
+    reports) and the promoted standby completes the run.
+
+    ``ckpt`` takes a :class:`repro.ckpt.format.CkptWriter`: the
+    coordinator periodically broadcasts a checkpoint request, nodes
+    stream their owned element state back, and the monotone union is
+    written as a ``pods-ckpt/v1`` snapshot.  ``restore`` takes a
+    :class:`repro.ckpt.format.CkptRestore`: nodes pre-seed their stores
+    and caches from the checkpoint (re-partitioned at the *current*
+    node count) and re-execute in presence-bit replay mode.
     """
     cfg = config or DistConfig(nodes=nodes, page_size=page_size,
                                timeout_s=timeout_s)
@@ -539,8 +779,15 @@ def run_distributed(program_ast: A.Program, args: tuple = (),
 
     lsock = socket.create_server((cfg.host, 0), backlog=cfg.nodes + 4)
     port = lsock.getsockname()[1]
+    ssock = None
+    standby_port = None
+    if cfg.failover:
+        ssock = socket.create_server((cfg.host, 0),
+                                     backlog=cfg.nodes + 4)
+        standby_port = ssock.getsockname()[1]
     ctx = mp.get_context("fork")
     procs: list = []
+    coord = None
     t_start = time.perf_counter()
     try:
         # Fork every node before the asyncio loop exists: a fork taken
@@ -549,24 +796,59 @@ def run_distributed(program_ast: A.Program, args: tuple = (),
             proc = ctx.Process(
                 target=node_main,
                 args=(program_ast, graph, node, cfg.nodes, cfg.host,
-                      port, cfg, entry, tuple(args), plan))
+                      port, cfg, entry, tuple(args), plan,
+                      standby_port, restore))
             proc.start()
             procs.append(proc)
-        supervisor = _Supervisor(cfg, policy, procs)
-        return asyncio.run(supervisor.run(lsock, t_start))
+        if not cfg.failover:
+            supervisor = _Supervisor(cfg, policy, procs, plan=plan,
+                                     ckpt=ckpt, restore=restore)
+            return asyncio.run(supervisor.run(lsock, t_start))
+
+        result_recv, result_send = ctx.Pipe(duplex=False)
+        coord = ctx.Process(
+            target=_coordinator_main,
+            args=(cfg, policy, procs, lsock, t_start, result_send,
+                  plan, ckpt, restore))
+        coord.start()
+        result_send.close()  # ours would keep the pipe writable
+        lsock.close()        # the coordinator child owns the listener
+        lsock = None
+        while True:
+            ready = mp_connection.wait([result_recv, coord.sentinel])
+            if result_recv in ready:
+                try:
+                    kind, payload = result_recv.recv()
+                except (EOFError, OSError):
+                    break  # died mid-send: treat as coordinator loss
+                coord.join(timeout=5.0)
+                if kind == "ok":
+                    return payload
+                raise payload
+            if coord.sentinel in ready and not coord.is_alive():
+                break
+        # The primary died without delivering an outcome: promote.
+        supervisor = _Supervisor(cfg, policy, procs, plan=None,
+                                 ckpt=ckpt, restore=restore,
+                                 standby=True)
+        return asyncio.run(supervisor.run(ssock, t_start))
     finally:
+        if coord is not None and coord.is_alive():
+            coord.terminate()
         for proc in procs:
             if proc.is_alive():
                 proc.terminate()
-        for proc in procs:
+        for proc in procs + ([coord] if coord is not None else []):
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - terminate refused
                 proc.kill()
                 proc.join()
-        try:
-            lsock.close()
-        except OSError:
-            pass
+        for sock in (lsock, ssock):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
         if prev_handler is not None:
             try:
                 signal.signal(signal.SIGTERM, prev_handler)

@@ -34,6 +34,14 @@ Process-level action:
   ``gen`` restricts to one executor generation on that node (1 = the
   original, 2+ = takeover replays, 0 = all — which with a kill exhausts
   the takeover budget).
+* ``coord-kill[:on=E,after=N,exitcode=C]`` — ``os._exit`` the *primary
+  coordinator process* at the N-th coordinator-side trigger of event
+  ``E`` (``start`` = after the start broadcast, ``hb`` = a heartbeat
+  arriving, ``done`` = a done report, ``result`` = the result report).
+  Only the primary arms the clause — the promoted standby never
+  re-fires it, so the scenario tests exactly one failover.  Requires
+  ``DistConfig.failover`` (the default); with the inline coordinator
+  the kill would take the whole client down.
 
 Parsing is strict (``ValueError`` naming the offending clause); plans
 are a test/chaos instrument, not production configuration.
@@ -51,9 +59,11 @@ DEFAULT_KILL_EXITCODE = 113  # same convention as repro.parallel.faults
 
 FRAME_ACTIONS = ("drop", "delay", "partition")
 KILL_ACTIONS = ("node-kill",)
+COORD_ACTIONS = ("coord-kill",)
 
 FRAME_KINDS = ("data", "ack", "hb")
 KILL_EVENTS = ("iter", "write", "result", "hb")
+COORD_EVENTS = ("start", "hb", "done", "result")
 
 ANY = -2  # -1 is the coordinator address, so "any" sits below it
 
@@ -91,8 +101,17 @@ class DistFault:
     exitcode: int = DEFAULT_KILL_EXITCODE
 
     def __post_init__(self) -> None:
-        if self.action not in FRAME_ACTIONS + KILL_ACTIONS:
+        if self.action not in FRAME_ACTIONS + KILL_ACTIONS + COORD_ACTIONS:
             raise ValueError(f"unknown dist fault action {self.action!r}")
+        if self.action == "coord-kill":
+            if not self.on:
+                object.__setattr__(self, "on", "start")
+            if self.on not in COORD_EVENTS:
+                raise ValueError(
+                    f"unknown coord-kill trigger {self.on!r}")
+            if self.after < 0:
+                raise ValueError("fault after must be >= 0")
+            return
         if self.action in ("drop", "delay"):
             if self.kind and self.kind not in FRAME_KINDS:
                 raise ValueError(f"unknown frame kind {self.kind!r}")
@@ -141,6 +160,9 @@ class DistFaultPlan:
 
     def kill_faults(self) -> tuple[DistFault, ...]:
         return tuple(f for f in self.faults if f.action in KILL_ACTIONS)
+
+    def coord_faults(self) -> tuple[DistFault, ...]:
+        return tuple(f for f in self.faults if f.action in COORD_ACTIONS)
 
     @staticmethod
     def parse(spec: str | None) -> "DistFaultPlan":
@@ -251,4 +273,32 @@ class DistFaultInjector:
             if f.on != event or count != f.after:
                 continue
             # Die like a power loss: no cleanup, no goodbye frame.
+            os._exit(f.exitcode)
+
+
+class CoordKillSwitch:
+    """``coord-kill`` runtime, armed only inside the primary coordinator.
+
+    The promoted standby constructs its supervisor without a plan, so a
+    clause fires at most once per run — the failover itself is what the
+    scenario measures.
+    """
+
+    def __init__(self, plan: DistFaultPlan | None) -> None:
+        self._kills = list(plan.coord_faults()) if plan else []
+        self._counts = {event: 0 for event in COORD_EVENTS}
+
+    def __bool__(self) -> bool:
+        return bool(self._kills)
+
+    def fire(self, event: str) -> None:
+        if not self._kills:
+            return
+        count = self._counts[event]
+        self._counts[event] = count + 1
+        for f in self._kills:
+            if f.on != event or count != f.after:
+                continue
+            # Same power-loss semantics as node-kill: no result frame,
+            # no shutdown broadcast, the listening socket just vanishes.
             os._exit(f.exitcode)

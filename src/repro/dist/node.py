@@ -52,8 +52,10 @@ from repro.baseline.sequential import Clock, Interpreter, SeqArray
 from repro.common.errors import (DeferredReadTimeout, ExecutionError,
                                  SingleAssignmentViolation)
 from repro.common.retry import RetryPolicy
+from repro.dist import reasons
 from repro.dist.faults import DistFaultInjector, DistFaultPlan
-from repro.dist.transport import COORD, Endpoint, encode_frame, read_frame
+from repro.dist.transport import (COORD, Endpoint, encode_frame,
+                                  frame_secret, read_frame)
 from repro.graph import ir
 from repro.lang import ast_nodes as A
 from repro.runtime.arrays import ArrayHeader
@@ -253,13 +255,17 @@ class NodeRuntime:
 
     def __init__(self, program, graph, node: int, nodes: int,
                  coord_host: str, coord_port: int, cfg, entry: str,
-                 args: tuple, plan: DistFaultPlan) -> None:
+                 args: tuple, plan: DistFaultPlan,
+                 standby_port: int | None = None,
+                 restore=None) -> None:
         self.program = program
         self.graph = graph
         self.node = node
         self.num_identities = nodes
         self.coord_host = coord_host
         self.coord_port = coord_port
+        self.standby_port = standby_port
+        self.restore = restore
         self.cfg = cfg
         self.entry = entry
         self.args = tuple(args)
@@ -280,6 +286,13 @@ class NodeRuntime:
         self._stop: asyncio.Event | None = None
         self._hb_task: asyncio.Task | None = None
         self._threads: list[threading.Thread] = []
+        self._secret = frame_secret()
+        self._started = False
+        self.gen = 1  # highest coordinator generation seen
+        self.peer_port: int | None = None
+        # Every done/result/err/peer-lost frame ever sent, so a
+        # promoted standby coordinator can be brought up to date.
+        self.reports: list[dict] = []
 
     # ------------------------------------------------------------------
     # lifecycle (loop thread)
@@ -296,6 +309,7 @@ class NodeRuntime:
                                  self.injector, self._on_peer_msg,
                                  self._on_peer_lost)
         port = await self.endpoint.start(self.cfg.host)
+        self.peer_port = port
         self._send_coord({"t": "hello", "node": self.node, "port": port})
         coord_task = asyncio.ensure_future(self._coord_loop(reader))
         try:
@@ -312,11 +326,17 @@ class NodeRuntime:
 
     async def _coord_loop(self, reader) -> None:
         while True:
-            msg = await read_frame(reader)
+            msg = await read_frame(reader, self._secret,
+                                   self._auth_reject)
             if msg is None:
-                # Coordinator gone: nothing left to report to.
-                self._stop.set()
-                return
+                # Coordinator gone.  With failover on, a warm standby
+                # is listening on a pre-announced port: rejoin it and
+                # resync; otherwise there is nothing left to report to.
+                reader = await self._rejoin()
+                if reader is None:
+                    self._stop.set()
+                    return
+                continue
             t = msg.get("t")
             if t == "start":
                 peers = {int(k): (v[0], int(v[1]))
@@ -324,16 +344,24 @@ class NodeRuntime:
                 self.endpoint.set_peers(peers)
                 self.owners = list(msg["owners"])
                 self.live = set(msg["live"])
-                self._hb_task = asyncio.ensure_future(self._hb_loop())
-                self._start_executor((self.node,), generation=1,
-                                     slot=self.node, replay=False)
+                if self._hb_task is None:
+                    self._hb_task = asyncio.ensure_future(self._hb_loop())
+                if not self._started:
+                    self._started = True
+                    if self.restore is not None:
+                        self._seed_restore()
+                    self._start_executor(
+                        (self.node,), generation=1, slot=self.node,
+                        replay=self.restore is not None)
             elif t == "adopt":
                 generation = msg["generation"]
+                self.gen = max(self.gen, generation)
                 self.injector.set_generation(generation)
                 self._start_executor(tuple(msg["identities"]),
                                      generation=generation,
                                      slot=msg["slot"], replay=True)
             elif t == "ownermap":
+                self.gen = max(self.gen, int(msg.get("gen", 1)))
                 self._apply_ownermap(list(msg["owners"]),
                                      set(msg["live"]))
             elif t == "collect":
@@ -343,6 +371,9 @@ class NodeRuntime:
                         if store is not None else {})
                 self._send_coord({"t": "segment", "node": self.node,
                                   "a": a, "vals": vals})
+            elif t == "ckpt":
+                self._send_coord({"t": "ckpt-state", "node": self.node,
+                                  "arrays": self._ckpt_state()})
             elif t == "fence":
                 # Declared dead: die immediately, like the zombie the
                 # coordinator already believes this process is.
@@ -352,16 +383,89 @@ class NodeRuntime:
                 self._send_coord({
                     "t": "bye", "node": self.node,
                     "netstats": {k: getattr(ns, k) for k in
-                                 ("sent", "retransmits", "dropped",
-                                  "duplicated", "delayed",
-                                  "dup_discarded", "acks_sent",
-                                  "halt_lost")}})
+                                 ns.__dataclass_fields__
+                                 if k != "spans"}})
                 try:
                     await self._coord_writer.drain()
                 except Exception:
                     pass
                 self._stop.set()
                 return
+
+    async def _rejoin(self):
+        """Dial the standby coordinator and resync; None when hopeless."""
+        if (not getattr(self.cfg, "failover", False)
+                or self.standby_port is None or self._stop.is_set()):
+            return None
+        deadline = time.monotonic() + self.cfg.connect_timeout_s
+        attempt = 0
+        while time.monotonic() < deadline:
+            attempt += 1
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.coord_host,
+                                            self.standby_port),
+                    min(1.0, self.cfg.connect_timeout_s))
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                await asyncio.sleep(
+                    self.policy.backoff_s(self.node, attempt))
+                continue
+            old = self._coord_writer
+            self._coord_writer = writer
+            try:
+                old.close()
+            except Exception:
+                pass
+            self._send_coord({
+                "t": "hello", "node": self.node, "port": self.peer_port,
+                "resync": {"gen": self.gen, "owners": list(self.owners),
+                           "live": sorted(self.live),
+                           "reports": list(self.reports)}})
+            return reader
+        return None
+
+    def _ckpt_state(self) -> dict:
+        """This node's owned element state, keyed for ``ckpt-state``."""
+        arrays: dict[str, dict] = {}
+        for a, store in self.stores.items():
+            header = self.headers.get(a)
+            if header is None or not store.values:
+                continue
+            arrays[str(a)] = {
+                "dims": list(header.dims),
+                "vals": {str(off): v
+                         for off, v in store.values.items()}}
+        return arrays
+
+    def _seed_restore(self) -> None:
+        """Pre-seed stores and caches from a ``pods-ckpt/v1`` snapshot.
+
+        Ownership is re-derived at the *current* node count — the
+        checkpoint stores flat offsets, and ``owner_of_offset`` is pure
+        geometry — so a run checkpointed at N nodes restores at M.
+        Every element also lands in the read cache (single assignment
+        makes any copy authoritative), sparing the replay a round of
+        remote reads.
+        """
+        for ordinal in self.restore.ordinals():
+            entry = self.restore.array(ordinal)
+            if entry is None:
+                continue
+            dims, elements = entry
+            header = ArrayHeader(ordinal, tuple(dims),
+                                 self.cfg.page_size,
+                                 self.num_identities)
+            self.headers.setdefault(ordinal, header)
+            store = self.stores.setdefault(ordinal, ElementStore())
+            cache = self.caches.setdefault(ordinal, {})
+            for off, value in elements.items():
+                cache[off] = value
+                if self.owners[header.owner_of_offset(off)] == self.node:
+                    store.values.setdefault(off, value)
+
+    def _auth_reject(self) -> None:
+        if self.endpoint is not None:
+            self.endpoint.net.stats.auth_rejected += 1
 
     async def _hb_loop(self) -> None:
         while True:
@@ -376,14 +480,31 @@ class NodeRuntime:
 
     def _send_coord(self, msg: dict) -> None:
         try:
-            self._coord_writer.write(encode_frame(msg))
+            self._coord_writer.write(encode_frame(msg, self._secret))
         except Exception:
             pass
+
+    def _send_report(self, msg: dict) -> None:
+        """Send and *remember* a report frame (loop thread).
+
+        Remembered reports ride the resync payload to a promoted
+        standby coordinator; replaying one twice is idempotent
+        coordinator-side, so remembering liberally is safe.
+        """
+        self.reports.append(msg)
+        self._send_coord(msg)
 
     def post_coord(self, msg: dict) -> None:
         """Thread-safe coordinator send (executor threads)."""
         try:
             self.loop.call_soon_threadsafe(self._send_coord, msg)
+        except RuntimeError:
+            pass  # loop already closed during teardown
+
+    def post_report(self, msg: dict) -> None:
+        """Thread-safe remembered report send (executor threads)."""
+        try:
+            self.loop.call_soon_threadsafe(self._send_report, msg)
         except RuntimeError:
             pass  # loop already closed during teardown
 
@@ -415,20 +536,20 @@ class NodeRuntime:
                     payload = ("array", [value.seq, list(value.dims)])
                 else:
                     payload = ("ok", value)
-                self.post_coord({"t": "result", "node": self.node,
-                                 "slot": slot, "gen": generation,
-                                 "v": payload})
+                self.post_report({"t": "result", "node": self.node,
+                                  "slot": slot, "gen": generation,
+                                  "v": payload})
             telemetry = interp.telemetry(time.perf_counter() - t0)
             telemetry["replayed_present"] = self._take_replayed()
-            self.post_coord({"t": "done", "node": self.node,
-                             "slot": slot, "gen": generation,
-                             "identities": list(identities),
-                             "telemetry": telemetry})
+            self.post_report({"t": "done", "node": self.node,
+                              "slot": slot, "gen": generation,
+                              "identities": list(identities),
+                              "telemetry": telemetry})
         except BaseException as exc:  # noqa: BLE001 - crosses the wire
-            self.post_coord({"t": "err", "node": self.node, "slot": slot,
-                             "gen": generation,
-                             "detail": f"{type(exc).__name__}: {exc}\n"
-                                       f"{traceback.format_exc()}"})
+            self.post_report({"t": "err", "node": self.node,
+                              "slot": slot, "gen": generation,
+                              "detail": f"{type(exc).__name__}: {exc}\n"
+                                        f"{traceback.format_exc()}"})
 
     def _take_replayed(self) -> int:
         """Drain the node-level replay-verify counter (loop-owned)."""
@@ -612,7 +733,7 @@ class NodeRuntime:
 
     def _post_violation(self, exc: SingleAssignmentViolation,
                         writer_node: int) -> None:
-        self._send_coord({
+        self._send_report({
             "t": "err", "node": self.node, "slot": self.node, "gen": 0,
             "detail": f"{type(exc).__name__}: {exc}\n"
                       f"(write received from node {writer_node})"})
@@ -690,13 +811,16 @@ class NodeRuntime:
                                         "v": value, "replay": True})
 
     def _on_peer_lost(self, peer: int, reason: str) -> None:
-        self._send_coord({"t": "peer-lost", "node": self.node,
-                          "peer": peer, "detail": reason})
+        self._send_report({"t": "peer-lost", "node": self.node,
+                           "peer": peer,
+                           "reason": reasons.parse_reason(reason),
+                           "detail": reason})
 
 
 def node_main(program, graph, node: int, nodes: int, coord_host: str,
               coord_port: int, cfg, entry: str, args: tuple,
-              plan: DistFaultPlan) -> None:
+              plan: DistFaultPlan, standby_port: int | None = None,
+              restore=None) -> None:
     """Node process entry point (forked by the coordinator)."""
     # Fork inherits the coordinator's SIGTERM→KeyboardInterrupt handler;
     # a terminated node should just die, not unwind through it.
@@ -705,7 +829,8 @@ def node_main(program, graph, node: int, nodes: int, coord_host: str,
     except (ValueError, OSError):  # pragma: no cover
         pass
     runtime = NodeRuntime(program, graph, node, nodes, coord_host,
-                          coord_port, cfg, entry, args, plan)
+                          coord_port, cfg, entry, args, plan,
+                          standby_port=standby_port, restore=restore)
     try:
         asyncio.run(runtime.run())
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown

@@ -1,0 +1,72 @@
+"""Canonical peer-loss / node-loss reason taxonomy.
+
+Both layers that can declare a peer dead — the socket transport
+(:mod:`repro.dist.transport`) and the coordinator's supervision loop
+(:mod:`repro.dist.coordinator`) — used to format free-form reason
+strings.  The recovery log, the ``peer-lost`` control frames and the
+structured-abort messages all carry these strings, so drift between the
+two producers made the taxonomy unmergeable.  Every loss reason is now
+one of the named constants below, optionally followed by a free-form
+detail suffix (``"<reason>: <detail>"``).
+
+``FAILURE_KIND`` maps each reason onto the two-valued failure taxonomy
+used by :class:`repro.common.retry.WorkerFailure` and the recovery log:
+``"lost"`` (the peer went silent; its process may be alive) versus
+``"crash"`` (the process provably exited non-zero).  A test asserts the
+mapping is total over ``ALL_REASONS``.
+"""
+
+from __future__ import annotations
+
+# -- transport-detected (Endpoint budgets) -------------------------------
+RECONNECT_EXHAUSTED = "reconnect-exhausted"
+RETRANSMIT_EXHAUSTED = "retransmit-exhausted"
+
+# -- coordinator-detected (supervision loop) -----------------------------
+HEARTBEAT_SILENCE = "heartbeat-silence"
+PROCESS_EXIT = "process-exit"
+CONNECTION_CLOSED = "connection-closed"
+
+# -- failover-specific ---------------------------------------------------
+COORDINATOR_LOST = "coordinator-lost"
+
+ALL_REASONS = (
+    RECONNECT_EXHAUSTED,
+    RETRANSMIT_EXHAUSTED,
+    HEARTBEAT_SILENCE,
+    PROCESS_EXIT,
+    CONNECTION_CLOSED,
+    COORDINATOR_LOST,
+)
+
+# reason -> WorkerFailure.kind.  PROCESS_EXIT is refined by exit code in
+# failure_kind(): a zero/None exit is a clean disappearance ("lost"),
+# anything else is a crash.
+FAILURE_KIND = {
+    RECONNECT_EXHAUSTED: "lost",
+    RETRANSMIT_EXHAUSTED: "lost",
+    HEARTBEAT_SILENCE: "lost",
+    PROCESS_EXIT: "crash",
+    CONNECTION_CLOSED: "lost",
+    COORDINATOR_LOST: "lost",
+}
+
+
+def reason_string(reason: str, detail: str = "") -> str:
+    """``"<reason>"`` or ``"<reason>: <detail>"``."""
+    if reason not in FAILURE_KIND:
+        raise ValueError(f"unknown loss reason {reason!r}")
+    return f"{reason}: {detail}" if detail else reason
+
+
+def parse_reason(text: str) -> str:
+    """Recover the canonical constant from a ``reason_string`` output."""
+    head = text.split(":", 1)[0].strip()
+    return head if head in FAILURE_KIND else CONNECTION_CLOSED
+
+
+def failure_kind(reason: str, exitcode: int | None = None) -> str:
+    """Map a loss reason (plus optional exit code) onto lost/crash."""
+    if reason == PROCESS_EXIT:
+        return "lost" if exitcode in (0, None) else "crash"
+    return FAILURE_KIND[reason]

@@ -29,15 +29,27 @@ retransmissions.  When a channel's retransmit budget or a connection's
 redial budget is exhausted the peer is declared lost — the transport
 reports it and stops trying; deciding whether that is a takeover or a
 structured abort is the coordinator's job, not the socket layer's.
+
+Frame authentication: when ``PODS_DIST_SECRET`` is set, every frame
+carries an HMAC-SHA256 tag over the JSON body between the length prefix
+and the body.  A frame with a bad or missing tag is *dropped at the
+framing layer* — below reliability — and counted in
+``NetStats.auth_rejected``; a dropped data frame heals by the sender's
+normal retransmission, exactly like an injected drop.  Tampering can
+therefore delay a run but never corrupt it.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import hmac
 import json
+import os
 import struct
 import time
 
+from repro.dist import reasons
 from repro.sim.reliable import NetStats, ReliableNet
 
 # The coordinator's address on the control link (nodes are >= 0).
@@ -45,28 +57,58 @@ COORD = -1
 
 _HEADER = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024
+_MAC_SIZE = hashlib.sha256().digest_size
+
+SECRET_ENV = "PODS_DIST_SECRET"
 
 
-def encode_frame(obj: dict) -> bytes:
-    """One wire frame: length prefix + compact JSON."""
+def frame_secret() -> bytes | None:
+    """The shared frame-auth key, or None when auth is off."""
+    secret = os.environ.get(SECRET_ENV)
+    return secret.encode("utf-8") if secret else None
+
+
+def encode_frame(obj: dict, secret: bytes | None = None) -> bytes:
+    """One wire frame: length prefix [+ HMAC tag] + compact JSON."""
     body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    return _HEADER.pack(len(body)) + body
+    if secret is None:
+        return _HEADER.pack(len(body)) + body
+    mac = hmac.new(secret, body, hashlib.sha256).digest()
+    return _HEADER.pack(len(body)) + mac + body
 
 
-async def read_frame(reader: asyncio.StreamReader) -> dict | None:
-    """Read one frame; ``None`` on clean EOF at a frame boundary."""
-    try:
-        header = await reader.readexactly(_HEADER.size)
-    except (asyncio.IncompleteReadError, ConnectionError, OSError):
-        return None
-    (length,) = _HEADER.unpack(header)
-    if length > _MAX_FRAME:
-        raise ValueError(f"frame length {length} exceeds {_MAX_FRAME}")
-    try:
-        body = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, ConnectionError, OSError):
-        return None
-    return json.loads(body.decode("utf-8"))
+async def read_frame(reader: asyncio.StreamReader,
+                     secret: bytes | None = None,
+                     on_reject=None) -> dict | None:
+    """Read one authentic frame; ``None`` on clean EOF at a boundary.
+
+    With a ``secret``, frames whose tag does not verify are skipped (the
+    stream stays framed — the length prefix is trusted for *skipping*
+    only) and ``on_reject`` fires once per rejected frame.
+    """
+    while True:
+        try:
+            header = await reader.readexactly(_HEADER.size)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > _MAX_FRAME:
+            raise ValueError(f"frame length {length} exceeds {_MAX_FRAME}")
+        try:
+            if secret is None:
+                body = await reader.readexactly(length)
+            else:
+                mac = await reader.readexactly(_MAC_SIZE)
+                body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        if secret is not None:
+            want = hmac.new(secret, body, hashlib.sha256).digest()
+            if not hmac.compare_digest(mac, want):
+                if on_reject is not None:
+                    on_reject()
+                continue  # drop below the reliability layer
+        return json.loads(body.decode("utf-8"))
 
 
 class Endpoint:
@@ -88,6 +130,7 @@ class Endpoint:
         self.injector = injector
         self.on_message = on_message
         self.on_peer_lost = on_peer_lost
+        self.secret = frame_secret()
         self.net = ReliableNet()
         self.peers: dict[int, tuple[str, int]] = {}
         self._writers: dict[int, asyncio.StreamWriter] = {}
@@ -135,7 +178,7 @@ class Endpoint:
         if writer is None:
             return
         try:
-            writer.write(encode_frame(frame))
+            writer.write(encode_frame(frame, self.secret))
             await writer.drain()
         except (ConnectionError, OSError):
             # Next retransmit scan redials and replays the window.
@@ -171,7 +214,7 @@ class Endpoint:
                     await asyncio.sleep(self.policy.backoff_s(dst, attempt))
                 continue
             writer.write(encode_frame({"t": "peer-hello",
-                                       "src": self.node}))
+                                       "src": self.node}, self.secret))
             try:
                 await writer.drain()
             except (ConnectionError, OSError):
@@ -179,8 +222,8 @@ class Endpoint:
             self._writers[dst] = writer
             self._spawn(self._read_conn(reader, writer))
             return writer
-        self._declare_lost(
-            dst, f"reconnect budget exhausted ({attempts} attempts)")
+        self._declare_lost(dst, reasons.reason_string(
+            reasons.RECONNECT_EXHAUSTED, f"{attempts} attempts"))
         return None
 
     # -- receiving -------------------------------------------------------
@@ -198,10 +241,14 @@ class Endpoint:
             # stream server's done-callback logs a spurious traceback.
             pass
 
+    def _auth_reject(self) -> None:
+        self.net.stats.auth_rejected += 1
+
     async def _read_conn(self, reader, writer) -> None:
         try:
             while True:
-                frame = await read_frame(reader)
+                frame = await read_frame(reader, self.secret,
+                                         self._auth_reject)
                 if frame is None:
                     break
                 t = frame.get("t")
@@ -232,7 +279,7 @@ class Endpoint:
         self.net.stats.acks_sent += 1
         try:
             writer.write(encode_frame({"t": "ack", "src": self.node,
-                                       "seq": seq}))
+                                       "seq": seq}, self.secret))
             await writer.drain()
         except (ConnectionError, OSError):
             pass  # the sender's retransmission will re-trigger an ack
@@ -258,10 +305,9 @@ class Endpoint:
                     if now - last_send < self.cfg.retransmit_timeout_s:
                         continue
                     if retries >= self.cfg.retransmit_budget:
-                        self._declare_lost(
-                            dst,
-                            f"retransmit budget exhausted (seq {seq} "
-                            f"unacked after {retries} resends)")
+                        self._declare_lost(dst, reasons.reason_string(
+                            reasons.RETRANSMIT_EXHAUSTED,
+                            f"seq {seq} unacked after {retries} resends"))
                         break
                     entry[1] = now
                     entry[2] = retries + 1

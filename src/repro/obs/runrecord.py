@@ -32,7 +32,10 @@ Schema ``pods-run/v1``::
                                 "predicted_us": ...,
                                 "speedup": ...}, ...]},  # optional
       "recovery": {"respawns": 1, ...},              # when nonzero
-      "net": {"retransmits": 2, ...}                 # when nonzero
+      "net": {"retransmits": 2, ...},                # when nonzero
+      "ckpt": {"snapshots": 3, "elements": 128,      # when durable
+               "restored_elements": 64,              # execution was on
+               "resumed_from": "..."}
     }
 
 ``wall_time_s`` (and the recovery section's ``backoff_total_s``) are the
@@ -54,6 +57,21 @@ SCHEMA = "pods-run/v1"
 # Hex digits of the sha256 a record is addressed by (store filenames and
 # CLI references use the full id; renderings abbreviate).
 ID_ABBREV = 12
+
+# Metric families that describe WHAT a run computed rather than how
+# fast: Range-Filter activations/items and I-structure element writes /
+# pages touched.  They are invariant under scheduling and
+# checkpoint/restart (``array.deferred_reads`` is excluded — timing
+# changes how often a read arrives before its write), so
+# ``diff(semantic=True)`` gates their totals exactly even across a
+# width change, which is how the crash-restart CI job proves a resumed
+# run re-did (or verified) all the same work.  ``rf.subrange`` counts
+# per-identity activations — one per worker per distributed loop — so
+# it scales with the partition width and only gates when the two runs'
+# parallelism matches.
+SEMANTIC_FAMILIES = ("rf.subrange", "rf.items", "array.element_writes",
+                     "array.pages_touched")
+WIDTH_SCALED_FAMILIES = ("rf.subrange",)
 
 
 # ---------------------------------------------------------------------
@@ -177,7 +195,12 @@ def build_record(result, program=None, args: tuple = ()) -> dict:
             "dup_discarded": netstats.dup_discarded,
             "acks_sent": netstats.acks_sent,
             "halt_lost": netstats.halt_lost,
+            "auth_rejected": getattr(netstats, "auth_rejected", 0),
         }
+
+    ckpt = getattr(result, "ckpt", None)
+    if ckpt:
+        doc["ckpt"] = {k: _scalar(v) for k, v in sorted(ckpt.items())}
 
     problems = validate(doc)
     if problems:
@@ -196,7 +219,10 @@ def canonical_json(doc: dict) -> str:
 
 
 def deterministic_projection(doc: dict) -> dict:
-    """The record minus its host-dependent fields (wall time, backoff)."""
+    """The record minus its host-dependent fields (wall time, backoff,
+    checkpoint provenance — snapshot cadence is wall-clock-paced and the
+    directory is a host path, and a resumed run claims the same identity
+    as an uninterrupted one)."""
     out = json.loads(canonical_json(doc))  # deep copy
     result = out.get("result")
     if isinstance(result, dict):
@@ -204,6 +230,7 @@ def deterministic_projection(doc: dict) -> dict:
     recovery = out.get("recovery")
     if isinstance(recovery, dict):
         recovery.pop("backoff_total_s", None)
+    out.pop("ckpt", None)
     return out
 
 
@@ -310,6 +337,14 @@ def validate(doc) -> list[str]:
             problems.append("'critpath.total_us' must be a finite number")
         elif not isinstance(critpath.get("contributions"), dict):
             problems.append("'critpath.contributions' must be an object")
+    ckpt = doc.get("ckpt")
+    if ckpt is not None:
+        if not isinstance(ckpt, dict):
+            problems.append("'ckpt' must be an object")
+        else:
+            for k, v in ckpt.items():
+                if not isinstance(v, (int, float, str, bool, type(None))):
+                    problems.append(f"ckpt[{k!r}] must be a scalar")
     return problems
 
 
@@ -377,7 +412,8 @@ def _fmt_labels(row: dict) -> str:
     return f"{row['name']}{{{labels}}}" if labels else row["name"]
 
 
-def diff(a: dict, b: dict, rtol: float = 0.02) -> RunDiff:
+def diff(a: dict, b: dict, rtol: float = 0.02,
+         semantic: bool = False) -> RunDiff:
     """Diff two ``pods-run/v1`` records, aligning metric rows by
     (kind, name, labels) and wait rows by (pe, category).
 
@@ -386,6 +422,11 @@ def diff(a: dict, b: dict, rtol: float = 0.02) -> RunDiff:
     growing beyond ``rtol`` are regressions, shrinking beyond it are
     improvements.  Metric-family and wait-category deltas, wall time and
     config changes are reported as notes.
+
+    ``semantic=True`` additionally gates the program's answer and the
+    :data:`SEMANTIC_FAMILIES` metric totals *exactly*, even when the
+    configs differ — the contract a checkpoint/resume must meet at any
+    width (per-label rows shift with the partition; the totals cannot).
     """
     out = RunDiff(a_id=record_id(a), b_id=record_id(b), rtol=rtol)
     config_changed = a.get("config") != b.get("config")
@@ -410,10 +451,13 @@ def diff(a: dict, b: dict, rtol: float = 0.02) -> RunDiff:
     ares, bres = a.get("result", {}), b.get("result", {})
     if ares.get("value") != bres.get("value"):
         msg = f"value {ares.get('value')!r} -> {bres.get('value')!r}"
-        if config_changed:
+        if config_changed and not semantic:
             out.notes.append(msg)
         else:
             out.regressions.append(msg)
+
+    if semantic:
+        _semantic_gate(a, b, out)
 
     for fld, where in (("time_us", "result"),):
         delta = _rel_delta(ares.get(fld), bres.get(fld))
@@ -475,6 +519,46 @@ def diff(a: dict, b: dict, rtol: float = 0.02) -> RunDiff:
     if removed:
         out.notes.append(f"{len(removed)} metric rows disappeared")
     return out
+
+
+def _semantic_totals(doc: dict) -> dict[str, float] | None:
+    """Per-family totals of the semantic metric rows (None = the record
+    carries no metrics section at all)."""
+    metrics = doc.get("metrics")
+    if metrics is None:
+        return None
+    totals = {fam: 0.0 for fam in SEMANTIC_FAMILIES}
+    for row in metrics:
+        name = row.get("name")
+        if name in totals and _is_number(row.get("value")):
+            totals[name] += row["value"]
+    return totals
+
+
+def _semantic_gate(a: dict, b: dict, out: RunDiff) -> None:
+    atot, btot = _semantic_totals(a), _semantic_totals(b)
+    if atot is None and btot is None:
+        out.notes.append("semantic gating requested but neither record "
+                         "has a metrics section")
+        return
+    if atot is None or btot is None:
+        out.regressions.append(
+            "semantic: metrics section "
+            + ("disappeared" if btot is None else "missing from baseline"))
+        return
+    width_changed = (a.get("config", {}).get("parallelism")
+                     != b.get("config", {}).get("parallelism"))
+    for fam in SEMANTIC_FAMILIES:
+        av, bv = atot[fam], btot[fam]
+        if av == bv:
+            out.notes.append(f"semantic: {fam} total {av:g} == {bv:g}")
+        elif fam in WIDTH_SCALED_FAMILIES and width_changed:
+            out.notes.append(
+                f"semantic: {fam} total {av:g} -> {bv:g} (scales with "
+                "width; informational across a width change)")
+        else:
+            out.regressions.append(
+                f"semantic: {fam} total {av:g} -> {bv:g}")
 
 
 def _wait_totals(doc: dict) -> dict[str, float]:
@@ -547,7 +631,8 @@ def render_record(doc: dict) -> str:
                     f"({row['speedup']:.2f}x)")
 
     for sec, title in (("recovery", "recovery summary:"),
-                       ("net", "network fault/recovery summary:")):
+                       ("net", "network fault/recovery summary:"),
+                       ("ckpt", "checkpoint/restore summary:")):
         body = doc.get(sec)
         if body:
             lines.append("")

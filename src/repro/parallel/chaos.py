@@ -21,13 +21,12 @@ Used by the CI ``chaos`` job on 2 and 4 workers::
 from __future__ import annotations
 
 import argparse
-import glob
 import os
 import sys
-import time
 from dataclasses import dataclass, field
 
 from repro.api import compile_source
+from repro.common.chaoslib import run_matrix, shm_entries, unlink_quietly
 from repro.common.config import ParallelConfig
 from repro.common.errors import ParallelExecutionError
 
@@ -131,15 +130,11 @@ def run_scenario(sc: Scenario, workers: int, verbose: bool) -> list[str]:
                 problems.append(f"recovery.{attr}: want {want}, got {got}")
         if verbose and rlog.events:
             print("    " + rlog.summary())
-    leaked = glob.glob("/dev/shm/pods*")
+    leaked = sorted(shm_entries())
     if leaked:
         problems.append(f"leaked segments: {leaked}")
         # Don't poison the following scenarios.
-        for path in leaked:
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+        unlink_quietly(leaked)
     return problems
 
 
@@ -154,20 +149,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 2:
         print("chaos needs --workers >= 2", file=sys.stderr)
         return 2
-    failed = 0
-    for sc in scenarios(args.workers):
-        t0 = time.monotonic()
-        problems = run_scenario(sc, args.workers, args.verbose)
-        dt = time.monotonic() - t0
-        status = "ok" if not problems else "FAIL"
-        print(f"  {sc.name:<20s} {status:>4s}  ({dt:.1f}s)")
-        for p in problems:
-            print(f"    !! {p}")
-        failed += bool(problems)
-    total = len(scenarios(args.workers))
-    print(f"chaos: {total - failed}/{total} scenarios passed on "
-          f"{args.workers} workers")
-    return 1 if failed else 0
+    cases = [(sc.name,
+              lambda sc=sc: run_scenario(sc, args.workers, args.verbose))
+             for sc in scenarios(args.workers)]
+    return run_matrix(cases, "chaos", f"{args.workers} workers")
 
 
 if __name__ == "__main__":

@@ -190,6 +190,10 @@ class ParallelResult:
     worker_stats: list[WorkerTelemetry] = field(default_factory=list)
     registry: Any = None  # MetricsRegistry over the worker telemetry
     recovery: RecoveryLog | None = None
+    # Checkpoint/restore summary (None unless the run wrote or consumed
+    # a pods-ckpt/v1 document): snapshots, elements, restored_elements,
+    # resumed_from — the run record's ``ckpt`` provenance section.
+    ckpt: dict | None = None
 
     def telemetry_table(self) -> str:
         """Per-worker profile as an aligned text block."""
@@ -234,7 +238,7 @@ class _WorkerInterpreter(Interpreter):
                  injector: FaultInjector | None = None,
                  read_timeout_s: float = 30.0,
                  spin_ceiling_s: float | None = None,
-                 stall_fn=None) -> None:
+                 stall_fn=None, alloc_fn=None) -> None:
         super().__init__(program, clock=Clock(), entry=entry)
         self.spec = spec
         self.worker = spec.slot
@@ -247,6 +251,7 @@ class _WorkerInterpreter(Interpreter):
         self.read_timeout_s = read_timeout_s
         self.spin_ceiling_s = spin_ceiling_s
         self.stall_fn = stall_fn
+        self.alloc_fn = alloc_fn
         # Pre-bound so the read hot path doesn't allocate a closure per
         # deferred read.
         self._on_spin = lambda: self.injector.fire("spin")
@@ -284,6 +289,11 @@ class _WorkerInterpreter(Interpreter):
         for ident in self.identities:
             arr.set_epoch(ident, self.spec.generation)
         self.shared_arrays.append(arr)
+        if create and self.alloc_fn is not None:
+            # Checkpointing only: tell the supervisor the segment's name
+            # and geometry so it can attach and snapshot.  alloc_fn is
+            # None when checkpointing is off — no message, no cost.
+            self.alloc_fn(self.alloc_seq, name, tuple(dims))
         return arr
 
     # -- array access ------------------------------------------------------
@@ -384,7 +394,8 @@ class _WorkerInterpreter(Interpreter):
 
 def _worker_main(program, graph, spec: _WorkerSpec, num_workers, run_tag,
                  page_size, entry, args, out_queue, manifest_path,
-                 read_timeout_s, spin_ceiling_s, plan) -> None:
+                 read_timeout_s, spin_ceiling_s, plan,
+                 report_allocs=False) -> None:
     # Fork inherits the parent's SIGTERM→KeyboardInterrupt handler; a
     # terminated worker should just die, not unwind through it.
     try:
@@ -405,12 +416,18 @@ def _worker_main(program, graph, spec: _WorkerSpec, num_workers, run_tag,
         info["t_report"] = now
         out_queue.put(("stall", spec.slot, spec.generation, info))
 
+    alloc_fn = None
+    if report_allocs:
+        def alloc_fn(seq: int, name: str, dims: tuple) -> None:
+            out_queue.put(("alloc", spec.slot, spec.generation,
+                           (seq, name, dims)))
+
     interp = _WorkerInterpreter(program, graph, spec, num_workers,
                                 run_tag, page_size, entry,
                                 manifest=manifest, injector=injector,
                                 read_timeout_s=read_timeout_s,
                                 spin_ceiling_s=spin_ceiling_s,
-                                stall_fn=stall_fn)
+                                stall_fn=stall_fn, alloc_fn=alloc_fn)
     t0 = time.perf_counter()
     try:
         result = interp.run(tuple(args), materialize=False)
@@ -453,7 +470,7 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
                  entry: str = "main", page_size: int = 32,
                  timeout_s: float = 120.0,
                  config: ParallelConfig | None = None,
-                 faults=None) -> ParallelResult:
+                 faults=None, ckpt=None, restore=None) -> ParallelResult:
     """Execute ``program_ast`` on real, supervised, self-healing processes.
 
     Retriable worker failures (``crash``/``lost``) are healed by the
@@ -501,13 +518,16 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
     failures: list[WorkerFailure] = []
     result_msg: tuple | None = None
     fatal_message: str | None = None
+    # Checkpointing only: allocation ordinal -> (segment name, dims),
+    # reported by workers so the supervisor can attach and snapshot.
+    allocs: dict[int, tuple[str, tuple]] = {}
 
     def spawn(spec: _WorkerSpec) -> None:
         proc = ctx.Process(
             target=_worker_main,
             args=(program_ast, graph, spec, nw, run_tag, cfg.page_size,
                   entry, args, out_queue, manifest.path, cfg.read_timeout_s,
-                  cfg.spin_ceiling_s, plan))
+                  cfg.spin_ceiling_s, plan, ckpt is not None))
         proc.start()
         all_procs.append(proc)
         active[spec.slot] = _Rec(spec=spec, proc=proc)
@@ -586,6 +606,12 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
     def handle(msg: tuple) -> None:
         nonlocal result_msg
         tag, slot, gen, payload = msg
+        if tag == "alloc":
+            # Any generation may report: allocation order is
+            # deterministic, so ordinal -> segment is stable.
+            seq, name, dims = payload
+            allocs.setdefault(seq, (name, tuple(dims)))
+            return
         if tag == "superseded":
             rlog.record(RecoveryEvent(t(), "superseded", slot, gen,
                                       detail=str(payload)))
@@ -657,6 +683,32 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
         fatal_message = ("every live worker blocked in a deferred-read "
                          "spin (missing write -> deadlock)")
 
+    def do_snapshot(now: float | None = None) -> None:
+        """Snapshot every reported segment into the checkpoint store.
+
+        Monotonicity makes this safe with zero coordination: presence
+        flags only flip on and the value is stored before the flag, so
+        a concurrent dump sees each element either absent or complete.
+        """
+        arrays = []
+        for seq in sorted(allocs):
+            name, dims = allocs[seq]
+            try:
+                arr = ShmArray(name, dims, create=False,
+                               page_size=cfg.page_size, epoch_slots=nw,
+                               attach_timeout_s=0.5)
+            except ExecutionError:
+                continue  # torn down already; skip this snapshot's view
+            try:
+                arrays.append((seq, dims, cfg.page_size, arr.dump()))
+            finally:
+                arr.close()
+        done = set(range(nw)) - remaining
+        try:
+            ckpt.snapshot(arrays, done, nw, now=now)
+        except OSError as exc:  # pragma: no cover - disk trouble
+            log.warning("pods.ckpt: snapshot failed: %s", exc)
+
     def _sigterm(signum, frame):  # pragma: no cover - signal path
         raise KeyboardInterrupt("SIGTERM")
 
@@ -668,8 +720,26 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
     start = time.perf_counter()
     deadline = time.monotonic() + cfg.timeout_s
     try:
+        if restore is not None:
+            # Pre-create and seed every checkpointed segment under the
+            # names replay allocation will derive (allocation ordinal is
+            # deterministic), so workers attach instead of creating and
+            # every pre-seeded write becomes a presence-bit verify.
+            for ordinal in restore.ordinals():
+                dims, elements = restore.array(ordinal)
+                name = f"{run_tag}_{ordinal}"
+                manifest.record(name)
+                arr = ShmArray(name, dims, create=True,
+                               page_size=cfg.page_size, epoch_slots=nw)
+                try:
+                    for off, value in elements.items():
+                        arr.seed(off, value)
+                finally:
+                    arr.close()
+                allocs[ordinal] = (name, dims)
         for w in range(nw):
-            spawn(_WorkerSpec(slot=w, identities=(w,)))
+            spawn(_WorkerSpec(slot=w, identities=(w,),
+                              replay=restore is not None))
         while remaining and not failures:
             # Drain every message already delivered.
             while True:
@@ -680,6 +750,8 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
             if not remaining or failures:
                 break
             now = time.monotonic()
+            if ckpt is not None and ckpt.due(now):
+                do_snapshot(now)
             due = [s for d, s in pending_spawns if d <= now]
             if due:
                 pending_spawns[:] = [(d, s) for d, s in pending_spawns
@@ -774,14 +846,31 @@ def run_parallel(program_ast: A.Program, args: tuple = (), workers: int = 2,
                 payload = arr.to_value()
             finally:
                 arr.close()
+        if ckpt is not None:
+            do_snapshot()  # final cut: the complete run, restartable
         stats = [WorkerTelemetry.from_dict(w, completed.get(w, {}))
                  for w in range(nw)]
         rlog.replayed_elements = sum(s.replayed_present for s in stats)
         registry = telemetry_registry(stats)
         rlog.to_registry(registry)
+        ckpt_info = ckpt.stats() if ckpt is not None else None
+        if restore is not None:
+            ckpt_info = dict(ckpt_info or {})
+            ckpt_info["restored_elements"] = restore.total_elements
+            ckpt_info["resumed_from"] = restore.id
+        if ckpt_info:
+            for key in ("snapshots", "elements", "restored_elements"):
+                if ckpt_info.get(key):
+                    registry.inc(f"ckpt.{key}", ckpt_info[key])
         return ParallelResult(value=payload, wall_time_s=wall, workers=nw,
                               worker_stats=stats, registry=registry,
-                              recovery=rlog)
+                              recovery=rlog, ckpt=ckpt_info)
+    except KeyboardInterrupt:
+        # SIGTERM/interrupt drain: one last consistent cut before the
+        # finally clause reclaims every shared segment.
+        if ckpt is not None and allocs:
+            do_snapshot()
+        raise
     finally:
         # Uniform teardown for success, failure, and interrupt alike:
         # stop every process ever started, drain the queue, reclaim all

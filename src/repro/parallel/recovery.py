@@ -56,7 +56,7 @@ __all__ = ["EVENT_KINDS", "RecoveryEvent", "RecoveryLog", "RetryPolicy"]
 # ``superseded`` is a zombie generation exiting on its own; ``exhausted``
 # marks a worker whose per-identity retry budget ran out.
 EVENT_KINDS = ("failure", "respawn", "takeover", "stall", "superseded",
-               "exhausted")
+               "exhausted", "failover")
 
 
 @dataclass(frozen=True)

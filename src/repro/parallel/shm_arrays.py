@@ -310,6 +310,44 @@ class ShmArray:
             "pages_touched": sorted(self.pages_touched),
         }
 
+    def seed(self, off: int, value) -> None:
+        """Host-side restore: store one checkpointed element by offset.
+
+        Same store-value-then-flag ordering as :meth:`write`, but no
+        telemetry and no single-assignment bookkeeping — the resuming
+        parent owns the segment and no worker is attached yet.
+        """
+        if not 0 <= off < self.total:
+            raise BoundsViolation(self.name, (off,), self.dims)
+        base = off * 8
+        if isinstance(value, bool):
+            _PACK_INT.pack_into(self._vals, base, int(value))
+            flag = FLAG_BOOL
+        elif isinstance(value, int):
+            _PACK_INT.pack_into(self._vals, base, value)
+            flag = FLAG_INT
+        elif isinstance(value, float):
+            _PACK.pack_into(self._vals, base, value)
+            flag = FLAG_FLOAT
+        else:
+            raise ExecutionError(f"cannot seed {type(value).__name__} into "
+                                 "a shared array")
+        self._flags[off] = flag  # presence bit set last
+
+    def dump(self) -> dict:
+        """Present elements as ``{flat offset: value}`` (checkpoint
+        capture).  Monotone presence bits make this safe to call while
+        workers are still writing: any flagged element has its value
+        stored (write orders value before flag), and absent elements
+        are simply not yet part of the cut.
+        """
+        out = {}
+        for off in range(self.total):
+            flag = self._flags[off]
+            if flag != FLAG_ABSENT:
+                out[off] = self._read_present(off, flag)
+        return out
+
     def snapshot(self) -> list:
         """Host-side copy (absent -> None); call after workers finish."""
         out = []

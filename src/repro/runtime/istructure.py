@@ -83,6 +83,17 @@ class IStructureSegment:
         self._cells[slot] = value
         return self._deferred.pop(offset, [])
 
+    def seed(self, offset: int, value: Any) -> None:
+        """Pre-store a checkpointed element (restore path, host-side).
+
+        Monotone seeding only: an already-present cell is left untouched,
+        so double-seeding is idempotent.  No waiters can exist yet —
+        restore seeds at segment-install time, before any read runs.
+        """
+        slot = self._slot(offset)
+        if self._cells[slot] is _ABSENT:
+            self._cells[slot] = value
+
     def deferred_count(self, offset: int | None = None) -> int:
         """Waiters queued on ``offset``, or on any element when None."""
         if offset is not None:

@@ -31,10 +31,10 @@ import argparse
 import json
 import os
 import sys
-import time
 from dataclasses import dataclass, field
 
 from repro.api import compile_source
+from repro.common.chaoslib import run_matrix
 from repro.common.config import MachineConfig, ObsConfig, SimConfig
 from repro.common.errors import LivelockError, PEHaltError
 
@@ -260,21 +260,11 @@ def main(argv: list[str] | None = None) -> int:
     program = compile_source(ROW_SWEEP)
     baseline = program.run((N,), backend="sim",
                            config=_sim_config(args.pes)).raw
-    failed = 0
-    matrix = scenarios(args.pes)
-    for sc in matrix:
-        t0 = time.monotonic()
-        problems = run_scenario(sc, args.pes, program, baseline,
-                                args.verbose)
-        dt = time.monotonic() - t0
-        status = "ok" if not problems else "FAIL"
-        print(f"  {sc.name:<20s} {status:>4s}  ({dt:.1f}s)")
-        for p in problems:
-            print(f"    !! {p}")
-        failed += bool(problems)
-    print(f"sim chaos: {len(matrix) - failed}/{len(matrix)} scenarios "
-          f"passed on {args.pes} PEs")
-    return 1 if failed else 0
+    cases = [(sc.name,
+              lambda sc=sc: run_scenario(sc, args.pes, program, baseline,
+                                         args.verbose))
+             for sc in scenarios(args.pes)]
+    return run_matrix(cases, "sim chaos", f"{args.pes} PEs")
 
 
 if __name__ == "__main__":

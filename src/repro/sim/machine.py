@@ -42,6 +42,7 @@ from repro.common.errors import (
     ExecutionError,
     LivelockError,
     PEHaltError,
+    SingleAssignmentViolation,
 )
 from repro.runtime.arrays import ArrayHeader
 from repro.runtime.frames import ABSENT, BLOCKED, DONE, READY, RUNNING, Frame
@@ -88,6 +89,7 @@ class RunResult:
 
     value: Any
     stats: RunStats
+    ckpt: dict | None = None  # checkpoint/restore summary, None when off
 
     @property
     def finish_time_us(self) -> float:
@@ -101,9 +103,20 @@ class RunResult:
 class Machine:
     """One simulated PODS multiprocessor executing one program."""
 
-    def __init__(self, program: isa.PodsProgram, config: SimConfig | None = None):
+    def __init__(self, program: isa.PodsProgram, config: SimConfig | None = None,
+                 ckpt=None, restore=None):
         self.program = program
         self.config = config or SimConfig()
+        # Durable execution (repro.ckpt): both default to None and every
+        # hook site pays one identity check, so a run without
+        # checkpointing is byte-identical to one on a build without it.
+        # ``ckpt`` is a CkptWriter paced by ``due_event``; ``restore`` is
+        # a CkptRestore whose elements are seeded at header-install time
+        # (allocation ordinal == array id — ids are issued sequentially).
+        self._ckpt = ckpt
+        self._restore = restore
+        self._replay = restore is not None
+        self.replayed_present = 0
         self.mc = self.config.machine
         self.pes = [PE(pid) for pid in range(self.mc.num_pes)]
         self.frames: dict[int, Frame] = {}
@@ -275,6 +288,7 @@ class Machine:
         # quiescence detector could never fire.
         maintenance = ((self._net_check, self._net_transmit_ack,
                         self._net_ack_receive) if net is not None else ())
+        ckpt = self._ckpt
         events = self.events_processed
         pop_batch = batch.popleft
         try:
@@ -309,6 +323,8 @@ class Machine:
                 if net is not None and fn not in maintenance:
                     self._finish_us = self._last_progress_us = self.now
                 fn(*fargs)
+                if ckpt is not None and ckpt.due_event(events):
+                    self._ckpt_snapshot()
         finally:
             self.events_processed = events
 
@@ -331,6 +347,8 @@ class Machine:
             )
 
         finish = self._finish_us if net is not None else self.now
+        if self._ckpt is not None:
+            self._ckpt_snapshot(final=True)
         timelines = registry = waits = None
         if self.obs is not None:
             timelines = self.obs.timelines
@@ -341,6 +359,15 @@ class Machine:
                 registry = self.obs.build_registry(
                     [pe.stats for pe in self.pes], UNITS, finish,
                     net=net)
+        ckpt_info = self._ckpt.stats() if self._ckpt is not None else None
+        if self._restore is not None:
+            ckpt_info = dict(ckpt_info or {})
+            ckpt_info["restored_elements"] = self._restore.total_elements
+            ckpt_info["resumed_from"] = self._restore.id
+        if registry is not None and ckpt_info:
+            for key in ("snapshots", "elements", "restored_elements"):
+                if ckpt_info.get(key):
+                    registry.inc(f"ckpt.{key}", ckpt_info[key])
         stats = RunStats(
             num_pes=self.mc.num_pes,
             finish_time_us=finish,
@@ -352,7 +379,8 @@ class Machine:
             waits=waits,
             netstats=net.stats if net is not None else None,
         )
-        return RunResult(value=self._materialize(self.result), stats=stats)
+        return RunResult(value=self._materialize(self.result), stats=stats,
+                         ckpt=ckpt_info)
 
     def _spawn_entry(self, args: tuple) -> None:
         pe0 = self.pes[0]
@@ -1282,7 +1310,19 @@ class Machine:
                              self.mc.num_pes)
         pe.headers[aid] = header
         lo, hi = header.segment_bounds(pe.pid)
-        pe.segments[aid] = IStructureSegment(aid, lo, hi)
+        seg = pe.segments[aid] = IStructureSegment(aid, lo, hi)
+        if self._restore is not None:
+            entry = self._restore.array(aid)
+            if entry is not None:
+                ck_dims, elements = entry
+                if tuple(ck_dims) != tuple(dims):
+                    raise ExecutionError(
+                        f"checkpoint array {aid} has dims {ck_dims}, "
+                        f"this run allocates {tuple(dims)} — program or "
+                        "arguments differ from the checkpointed run")
+                for off, value in elements.items():
+                    if lo <= off < hi:
+                        seg.seed(off, value)
         waiters = pe.header_waiters.pop(aid, None)
         if waiters:
             for frame in waiters:
@@ -1424,6 +1464,18 @@ class Machine:
             if self.obs is not None:
                 self.obs.page_touch(aid, header.page_of(offset))
             seg = pe.segments[aid]
+            if self._replay and seg.is_present(offset):
+                # Resumed run recomputing a checkpointed element: single
+                # assignment guarantees the recomputed value is
+                # identical; verify so genuine double writes stay
+                # detectable even under replay.  Pre-seeded elements
+                # never have deferred readers (present from install).
+                present, stored = seg.read(offset)
+                if stored != value:
+                    raise SingleAssignmentViolation(aid, offset)
+                self.replayed_present += 1
+                self._serve(pe, "am_free", "AM", T.am_array_write(0))
+                return
             woken = seg.write(offset, value)  # may raise single-assignment
             done = self._serve(pe, "am_free", "AM",
                                T.am_array_write(len(woken)))
@@ -1446,7 +1498,36 @@ class Machine:
         self.schedule(done, self._send_msg, pe, msg)
 
 
+    def _ckpt_snapshot(self, final: bool = False) -> None:
+        """Persist one event-boundary checkpoint of every array.
+
+        No coordination with in-flight events is needed: presence bits
+        are monotone, so the per-PE segment contents at any event
+        boundary form a consistent cut.  Segments of one array are
+        merged across PEs (each holds its dealt subrange); the array id
+        doubles as the allocation ordinal because ids are issued
+        sequentially from 1.
+        """
+        merged: dict[int, dict[int, Any]] = {}
+        dims: dict[int, tuple] = {}
+        for pe in self.pes:
+            for aid, seg in pe.segments.items():
+                cells = merged.setdefault(aid, {})
+                for off, value in seg.items():
+                    cells[off] = value
+                if aid not in dims:
+                    dims[aid] = pe.headers[aid].dims
+        arrays = [(aid, dims[aid], self.mc.page_size, merged[aid])
+                  for aid in sorted(merged)]
+        done = set(range(self.mc.num_pes)) if final else set()
+        try:
+            self._ckpt.snapshot(arrays, done, self.mc.num_pes)
+        except OSError:  # pragma: no cover - disk trouble
+            pass
+
+
 def run_program(program: isa.PodsProgram, args: tuple = (),
-                config: SimConfig | None = None) -> RunResult:
+                config: SimConfig | None = None,
+                ckpt=None, restore=None) -> RunResult:
     """Convenience: build a machine and run ``program`` once."""
-    return Machine(program, config).run(args)
+    return Machine(program, config, ckpt=ckpt, restore=restore).run(args)

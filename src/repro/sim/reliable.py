@@ -69,13 +69,15 @@ class NetStats:
     dup_discarded: int = 0     # receiver-side duplicate discards
     acks_sent: int = 0
     halt_lost: int = 0         # copies addressed to a halted PE
+    auth_rejected: int = 0     # frames dropped for a bad HMAC tag
     # Retransmit wait spans for the Perfetto NET track:
     # (src_pe, start_us, end_us, label).
     spans: list = field(default_factory=list)
 
     def any_faults(self) -> bool:
         return (self.retransmits or self.dropped or self.duplicated
-                or self.delayed or self.dup_discarded or self.halt_lost)
+                or self.delayed or self.dup_discarded or self.halt_lost
+                or self.auth_rejected)
 
     def table(self) -> str:
         """The ``pods run/profile`` fault & delivery summary."""
@@ -88,6 +90,7 @@ class NetStats:
             ("lost to halted PEs", self.halt_lost),
             ("retransmissions", self.retransmits),
             ("duplicates discarded", self.dup_discarded),
+            ("auth-rejected frames", self.auth_rejected),
         ]
         lines = ["network fault/recovery summary:"]
         for label, value in rows:

@@ -62,3 +62,82 @@ class TestRetryPolicy:
         from repro.parallel import recovery
 
         assert recovery.RetryPolicy is RetryPolicy
+
+
+FILL = """
+function main(n) {
+    A = matrix(n, n);
+    for i = 1 to n {
+        for j = 1 to n { A[i, j] = 1.0 * i * j + 0.25; }
+    }
+    return A;
+}
+"""
+
+# Shrunk timings so the budget-exhaustion runs finish in milliseconds.
+FAST = dict(poll_interval_s=0.02, grace_s=0.2, retry_backoff_s=0.01,
+            retry_backoff_max_s=0.05)
+
+
+class TestBudgetEdges:
+    """The corners of the shared budget the happy-path tests skip."""
+
+    def test_zero_global_budget_fails_on_first_crash(self):
+        # max_retries_total=0 is a legal "never retry anything" policy:
+        # the very first crash must exhaust the global budget — a
+        # structured error, zero respawn attempts, no hang.
+        from repro.api import compile_source
+        from repro.common.errors import ParallelExecutionError
+
+        p = compile_source(FILL)
+        cfg = ParallelConfig(workers=2, max_retries_total=0, **FAST)
+        with pytest.raises(ParallelExecutionError) as exc:
+            p.run_parallel((8,), config=cfg,
+                           faults="kill:worker=1,on=iter,after=0")
+        assert "recovery budget exhausted (0 retries)" in str(exc.value)
+        assert exc.value.recovery.respawns == 0
+
+    def test_global_budget_checked_before_per_worker(self):
+        # Both budgets expire on the same attempt (total=1 and
+        # per-worker=1, crash re-fires every generation): the global
+        # check runs first, so the failure is reported as global
+        # exhaustion and no takeover is ever scheduled for a run the
+        # budget has already condemned.
+        from repro.api import compile_source
+        from repro.common.errors import ParallelExecutionError
+
+        p = compile_source(FILL)
+        cfg = ParallelConfig(workers=2, max_retries_per_worker=1,
+                             max_retries_total=1, **FAST)
+        with pytest.raises(ParallelExecutionError) as exc:
+            p.run_parallel((8,), config=cfg, faults="kill:worker=1,gen=0")
+        assert "recovery budget exhausted (1 retries)" in str(exc.value)
+        kinds = [e.kind for e in exc.value.recovery.events]
+        assert kinds.count("respawn") == 1
+        assert "takeover" not in kinds
+
+    def test_jitter_is_deterministic_at_the_budget_boundary(self):
+        # The delays that matter most — the last in-budget respawn and
+        # the takeover right past it — must replay exactly for the same
+        # seed: recovery schedules are part of the reproducibility
+        # contract, not best-effort.
+        mk = lambda seed: RetryPolicy(max_retries_per_worker=3,
+                                      jitter=0.5, seed=seed)
+        a, b, c = mk(5), mk(5), mk(6)
+        boundary = a.max_retries_per_worker
+        for worker in range(4):
+            for attempt in (boundary, boundary + 1):
+                assert (a.backoff_s(worker, attempt)
+                        == b.backoff_s(worker, attempt))
+        assert any(a.backoff_s(w, boundary) != c.backoff_s(w, boundary)
+                   for w in range(4))
+
+    def test_backoff_cap_bounds_jittered_delay(self):
+        # Jitter widens the capped base, never past (1 + jitter) of it:
+        # the worst-case respawn delay stays computable from the config.
+        p = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                        backoff_max_s=0.4, jitter=0.25, seed=3)
+        for attempt in (1, 5, 30):
+            d = p.backoff_s(0, attempt)
+            assert d <= 0.4 * 1.25
+            assert d >= min(0.4, 0.1 * 2.0 ** (attempt - 1))

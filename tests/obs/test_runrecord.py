@@ -193,6 +193,60 @@ class TestDiff:
         assert any("metric " in n for n in d.notes)
 
 
+class TestSemanticDiff:
+    """``diff(semantic=True)``: the checkpoint/resume parity gate."""
+
+    def _pair(self, pes_a=2, pes_b=2):
+        program, a = observed_result(pes=pes_a)
+        config = SimConfig(machine=MachineConfig(num_pes=pes_b),
+                           obs=FULL_OBS)
+        b = program.run((3,), backend="sim", config=config)
+        return (a.to_run_record(program=program, args=(3,)),
+                b.to_run_record(program=program, args=(3,)))
+
+    def test_same_width_rerun_gates_clean(self):
+        a, b = self._pair()
+        d = runrecord.diff(a, b, semantic=True)
+        assert d.ok, d.regressions
+        assert any("semantic" in n for n in d.notes)
+
+    def test_value_gates_even_across_config_change(self):
+        # Without semantic=True a value change under a config change is
+        # merely a note; the semantic gate hardens it to a regression.
+        a, b = self._pair(pes_a=2, pes_b=4)
+        bad = json.loads(runrecord.canonical_json(b))
+        bad["result"]["value"] = 999
+        assert runrecord.diff(a, bad).ok
+        d = runrecord.diff(a, bad, semantic=True)
+        assert not d.ok
+        assert any("value" in r for r in d.regressions)
+
+    def test_family_total_change_is_regression(self):
+        a, b = self._pair()
+        bad = json.loads(runrecord.canonical_json(b))
+        for row in bad["metrics"]:
+            if row["name"] == "array.element_writes":
+                row["value"] += 1
+        d = runrecord.diff(a, bad, semantic=True)
+        assert not d.ok
+        assert any("array.element_writes" in r for r in d.regressions)
+
+    def test_width_scaled_family_is_informational_across_widths(self):
+        # rf.subrange counts per-identity activations, which scale with
+        # the partition width: exact at equal width, a note otherwise.
+        a, b = self._pair(pes_a=2, pes_b=4)
+        d = runrecord.diff(a, b, semantic=True)
+        assert d.ok, d.regressions
+        assert any("rf.subrange" in n and "width" in n for n in d.notes)
+
+    def test_missing_metrics_side_is_regression(self):
+        a, b = self._pair()
+        bare = json.loads(runrecord.canonical_json(b))
+        del bare["metrics"]
+        d = runrecord.diff(a, bare, semantic=True)
+        assert not d.ok
+
+
 class TestDeterminism:
     def test_fast_path_record_matches_reference(self):
         """The run ledger must not distinguish the table-driven fast
